@@ -1,0 +1,17 @@
+"""Bench E1 — regenerates paper Fig. 3 (timelines) and Fig. 4 (bandwidth).
+
+Four identical 16-process jobs, priorities 10/10/30/50 %, run to completion
+under No BW / Static BW / AdapTBF.  Prints the Fig. 4 bandwidth table, the
+gain/loss table vs No BW, and the Fig. 3 per-mechanism throughput series;
+asserts the priority-ordering, work-conservation and completion-order
+shapes.
+"""
+
+from repro.experiments import fig3_fig4
+
+
+def test_fig3_fig4_token_allocation(benchmark, print_report):
+    comparison = benchmark.pedantic(fig3_fig4.run, rounds=1, iterations=1)
+    print_report(fig3_fig4.report(comparison))
+    for check in fig3_fig4.check_shapes(comparison):
+        assert check.passed, f"{check.claim}: {check.detail}"

@@ -1,0 +1,15 @@
+"""Bench E2 — regenerates paper Fig. 5 (timelines) and Fig. 6 (bandwidth).
+
+Three high-priority bursty jobs against a low-priority continuous hog.
+Prints the Fig. 6 bandwidth and gain tables plus the Fig. 5 series; asserts
+the starvation-prevention, utilization and work-conservation shapes.
+"""
+
+from repro.experiments import fig5_fig6
+
+
+def test_fig5_fig6_token_redistribution(benchmark, print_report):
+    comparison = benchmark.pedantic(fig5_fig6.run, rounds=1, iterations=1)
+    print_report(fig5_fig6.report(comparison))
+    for check in fig5_fig6.check_shapes(comparison):
+        assert check.passed, f"{check.claim}: {check.detail}"

@@ -1,0 +1,16 @@
+"""Bench E3 — regenerates paper Fig. 7 (records/demand) and Fig. 8.
+
+Four equal-priority jobs; jobs 1-3 lend early (their continuous streams are
+delayed by scaled 20/50/80 s) while job 4 borrows from t=0.  Prints the
+record trajectories (the Fig. 7 arcs), the Fig. 8 bandwidth and gain tables;
+asserts lending/borrowing/re-compensation shapes.
+"""
+
+from repro.experiments import fig7_fig8
+
+
+def test_fig7_fig8_token_recompensation(benchmark, print_report):
+    comparison = benchmark.pedantic(fig7_fig8.run, rounds=1, iterations=1)
+    print_report(fig7_fig8.report(comparison))
+    for check in fig7_fig8.check_shapes(comparison):
+        assert check.passed, f"{check.claim}: {check.detail}"

@@ -1,0 +1,15 @@
+"""Bench E4 — regenerates paper Fig. 9 (throughput vs allocation frequency).
+
+Sweeps the AdapTBF observation period over the §IV-F workload and prints
+the aggregate-throughput row per period; asserts that finer control does
+not lose to coarser control.
+"""
+
+from repro.experiments import fig9
+
+
+def test_fig9_allocation_frequency(benchmark, print_report):
+    sweep = benchmark.pedantic(fig9.run, rounds=1, iterations=1)
+    print_report(fig9.report(sweep))
+    for check in fig9.check_shapes(sweep):
+        assert check.passed, f"{check.claim}: {check.detail}"

@@ -1,0 +1,32 @@
+"""Bench E5 — §IV-G framework overhead.
+
+Times one allocation round of the actual algorithm at several active-job
+populations (pytest-benchmark microbenchmarks), prints the µs/job table the
+paper reports, and asserts O(n) scaling.
+"""
+
+import pytest
+
+from repro.core.allocation import TokenAllocationAlgorithm
+from repro.experiments import overhead
+from repro.experiments.overhead import _synthetic_inputs
+
+
+@pytest.mark.parametrize("n_jobs", [4, 64, 1000])
+def test_allocation_round_scaling(benchmark, n_jobs):
+    """Microbenchmark: one full three-step allocation round for n jobs."""
+    inputs = _synthetic_inputs(n_jobs, rounds=2)
+    algo = TokenAllocationAlgorithm()
+    algo.allocate(inputs[0])  # establish history so all steps engage
+
+    benchmark(algo.allocate, inputs[1])
+
+
+def test_overhead_table(benchmark, print_report):
+    """The §IV-G table: ms/round and µs/job across populations."""
+    result = benchmark.pedantic(
+        overhead.run, kwargs=dict(rounds=10), rounds=1, iterations=1
+    )
+    print_report(overhead.report(result))
+    for check in overhead.check_shapes(result):
+        assert check.passed, f"{check.claim}: {check.detail}"

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Generalizing AdapTBF beyond Lustre (paper §III-E).
+
+The paper notes that the adaptive token-borrowing mechanism "can be applied
+to situations involving the adaptive allocation of shared, finite resources
+among competing entities in a decentralized manner".  This example uses the
+:class:`~repro.core.allocation.TokenAllocationAlgorithm` *standalone* — no
+simulator, no Lustre — to arbitrate an API gateway's request budget among
+tenants with different paid tiers (the "priority") and shifting traffic.
+
+Each control period we feed the allocator the observed per-tenant request
+counts; it returns each tenant's request budget for the next period.  Watch
+the bronze tenant borrow the enterprise tenant's unused budget at night and
+hand it back (with its ledger balanced) when the enterprise traffic
+returns in the morning.
+
+Run:  python examples/custom_resource.py
+"""
+
+from repro.core.allocation import TokenAllocationAlgorithm
+from repro.core.types import AllocationInput
+
+#: Paid tiers, expressed exactly like compute-node counts in the paper.
+TENANT_TIER = {"enterprise": 10, "startup": 4, "bronze": 1}
+
+#: Gateway capacity: requests per second.
+CAPACITY_RPS = 10_000
+
+#: Control period: one "hour" per allocation round.
+PERIOD_S = 1.0
+
+
+def traffic(hour: int) -> dict:
+    """Synthetic diurnal demand (requests observed in the elapsed hour)."""
+    if hour < 8:  # night: enterprise sleeps, bronze runs its batch scrape
+        return {"enterprise": 200, "startup": 2_000, "bronze": 7_500}
+    if hour < 18:  # business hours: enterprise storms back
+        return {"enterprise": 60_000, "startup": 6_000, "bronze": 9_000}
+    return {"enterprise": 4_000, "startup": 3_000, "bronze": 4_000}
+
+
+def main() -> None:
+    allocator = TokenAllocationAlgorithm()
+    print(f"{'hour':>4}  {'enterprise':>12}  {'startup':>9}  {'bronze':>8}   records")
+    for hour in range(24):
+        demands = traffic(hour)
+        result = allocator.allocate(
+            AllocationInput(
+                interval_s=PERIOD_S,
+                max_token_rate=CAPACITY_RPS,
+                demands=demands,
+                nodes=TENANT_TIER,
+            )
+        )
+        budgets = result.allocations
+        records = allocator.records.snapshot()
+        print(
+            f"{hour:>4}  {budgets['enterprise']:>12}  {budgets['startup']:>9}  "
+            f"{budgets['bronze']:>8}   { {t: records[t] for t in sorted(records)} }"
+        )
+
+    records = allocator.records.snapshot()
+    print()
+    print("Ledger after 24h (positive = lent, negative = borrowed):")
+    for tenant in sorted(records):
+        print(f"  {tenant:12s} {records[tenant]:+d}")
+    assert sum(records.values()) == 0, "the exchange ledger is always zero-sum"
+    print(
+        "\nWhat to notice:\n"
+        "  * at night bronze borrows far beyond its 1/15 tier share —\n"
+        "    work-conserving: nobody's budget sits idle;\n"
+        "  * once enterprise traffic returns, re-compensation zeroes\n"
+        "    bronze's budget and amortizes its debt — but at most its own\n"
+        "    allocation per period, the paper's bounded-reclaim fairness\n"
+        "    (no overcompensation, no starvation spiral);\n"
+        "  * the ledger is exactly zero-sum at every step.\n"
+        "Same Eq. 1-20 pipeline that runs on each OST, zero Lustre involved."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Decentralized control over multiple OSTs (paper §II-B).
+
+The paper's scalability argument: rather than coordinating bandwidth
+globally, run one *independent* AdapTBF instance per storage target; if
+every target is locally fair and work-conserving, the sum over targets is
+globally fair.  This example runs a 1-node hog against a 6-node job whose
+files are spread over four OSTs (Lustre-style round-robin placement, with
+optional striping) and shows:
+
+* four controllers making decisions from purely local job stats,
+* the global bandwidth split tracking the 6:1 priority anyway,
+* zero communication between targets (by construction — each controller
+  object only references its own OSS).
+
+Run:  python examples/decentralized_multiost.py
+"""
+
+from repro.cluster import ClusterConfig, Mechanism, run_experiment
+from repro.workloads import JobSpec, ProcessSpec, SequentialWritePattern
+
+MIB = 1 << 20
+
+
+def make_jobs():
+    return [
+        JobSpec(
+            job_id="simulation",  # a 6-node application
+            nodes=6,
+            processes=tuple(
+                ProcessSpec(SequentialWritePattern(512 * MIB)) for _ in range(8)
+            ),
+        ),
+        JobSpec(
+            job_id="hog",  # 1 node, same I/O appetite
+            nodes=1,
+            processes=tuple(
+                ProcessSpec(SequentialWritePattern(512 * MIB)) for _ in range(8)
+            ),
+        ),
+    ]
+
+
+def main() -> None:
+    config = ClusterConfig(
+        mechanism=Mechanism.ADAPTBF,
+        n_osts=4,  # four independent (OSS, OST) stacks
+        stripe_count=2,  # each file striped across two OSTs
+        capacity_mib_s=256.0,  # per OST => 1 GiB/s aggregate
+        interval_s=0.1,
+    )
+    result = run_experiment(config, make_jobs(), duration_s=3.0)
+
+    print("Global achieved bandwidth (4 OSTs x 256 MiB/s):")
+    for job in ("simulation", "hog"):
+        print(f"  {job:11s} {result.summary.job(job):7.1f} MiB/s")
+    ratio = result.summary.job("simulation") / result.summary.job("hog")
+    print(f"  ratio {ratio:.2f} (priority ratio: 6.0)")
+    print(f"  aggregate {result.summary.aggregate_mib_s:.1f} MiB/s, "
+          f"mean OST utilization {result.ost_utilization:.2f}")
+    print()
+    print("Each OST's controller ran independently:")
+    for index, history in enumerate(result.per_ost_histories):
+        last = history[-1]
+        allocs = {j: a for j, a in sorted(last.result.allocations.items())}
+        print(
+            f"  OST{index:04d}: {len(history):3d} rounds, "
+            f"last allocation {allocs} tokens/round"
+        )
+    print()
+    print(
+        "No controller saw anything beyond its own OST's job stats, yet the\n"
+        "global split honours the 6:1 compute allocation — the paper's\n"
+        "decentralization claim in action."
+    )
+
+
+if __name__ == "__main__":
+    main()

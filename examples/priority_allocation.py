@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""Paper experiment §IV-D: priority-proportional token allocation (Fig. 3-4).
+
+Runs four identical 16-process jobs with priorities 10/10/30/50 % under
+No BW, Static BW and AdapTBF, then prints the achieved-bandwidth table, the
+gain/loss table versus No BW, the per-mechanism throughput timelines and
+the programmatic shape checks.
+
+Run:  python examples/priority_allocation.py [--full]
+      (--full uses the paper's 1 GiB files; default is a 1/10-scale run)
+"""
+
+import sys
+
+from repro.experiments import fig3_fig4
+from repro.experiments.common import bench_scale, full_scale
+
+
+def main() -> None:
+    scale = full_scale() if "--full" in sys.argv else bench_scale()
+    comparison = fig3_fig4.run(scale)
+    print(fig3_fig4.report(comparison))
+
+
+if __name__ == "__main__":
+    main()

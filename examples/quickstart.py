@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: put AdapTBF in front of two competing jobs.
+
+Builds a one-OST simulated Lustre cluster, runs a 4-node job against a
+1-node bandwidth hog, and shows what AdapTBF does about it: the big job
+gets its proportional share, the hog is throttled — but only while the big
+job actually needs the bandwidth.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cluster import ClusterConfig, Mechanism, run_experiment
+from repro.workloads import JobSpec, ProcessSpec, SequentialWritePattern
+
+MIB = 1 << 20
+
+
+def main() -> None:
+    # Two jobs: `science` was allocated 4 compute nodes, `hog` only 1 —
+    # so science is entitled to 80% of each storage target it touches.
+    jobs = [
+        JobSpec(
+            job_id="science",
+            nodes=4,
+            processes=tuple(
+                ProcessSpec(SequentialWritePattern(256 * MIB)) for _ in range(4)
+            ),
+        ),
+        JobSpec(
+            job_id="hog",
+            nodes=1,
+            processes=tuple(
+                ProcessSpec(SequentialWritePattern(256 * MIB)) for _ in range(4)
+            ),
+        ),
+    ]
+
+    for mechanism in (Mechanism.NONE, Mechanism.ADAPTBF):
+        config = ClusterConfig(
+            mechanism=mechanism,
+            capacity_mib_s=1024.0,  # one SSD-class OST
+            interval_s=0.1,  # AdapTBF observation period (paper: 100 ms)
+        )
+        result = run_experiment(config, jobs)
+        print(f"--- mechanism: {mechanism.value} ---")
+        for job in ("science", "hog"):
+            bw = result.summary.job(job)
+            done = result.job_completion_s.get(job, float("nan"))
+            print(f"  {job:8s}  {bw:7.1f} MiB/s   finished at {done:5.2f} s")
+        print(f"  aggregate {result.summary.aggregate_mib_s:7.1f} MiB/s")
+        print()
+
+    print(
+        "Under FCFS both jobs split the OST evenly; under AdapTBF the\n"
+        "4-node job gets ~4x the hog's bandwidth while it runs, and the\n"
+        "hog inherits the whole OST the moment the big job completes —\n"
+        "no tokens are wasted."
+    )
+
+
+if __name__ == "__main__":
+    main()

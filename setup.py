@@ -1,0 +1,9 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so `pip install -e .` works on environments
+whose setuptools predates bundled bdist_wheel support (legacy editable path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""AdapTBF reproduction: decentralized bandwidth control for HPC storage.
+
+A faithful, fully-simulated reproduction of *AdapTBF: Decentralized
+Bandwidth Control via Adaptive Token Borrowing for HPC Storage* (Rashid &
+Dai, IPPS 2025).  The package layers:
+
+* :mod:`repro.sim` — a deterministic discrete-event engine;
+* :mod:`repro.lustre` — the Lustre data path AdapTBF plugs into (NRS with
+  FIFO/TBF policies, OSS thread pool, processor-sharing OSTs, job stats);
+* :mod:`repro.core` — the AdapTBF framework itself (three-step token
+  allocation with lending/borrowing records, remainder fairness, controller
+  and rule daemon) plus the paper's baselines and ablations;
+* :mod:`repro.workloads` — Filebench-style synthetic workloads and the three
+  §IV scenarios;
+* :mod:`repro.cluster` — experiment assembly and the single-call runner;
+* :mod:`repro.metrics` — timelines, summaries and text rendering;
+* :mod:`repro.experiments` — one module per paper figure/analysis.
+
+Quickstart
+----------
+>>> from repro.cluster import ClusterConfig, Mechanism, run_scenario
+>>> from repro.workloads import ScenarioConfig, scenario_allocation
+>>> scenario = scenario_allocation(ScenarioConfig(data_scale=1 / 64))
+>>> result = run_scenario(scenario, ClusterConfig(mechanism=Mechanism.ADAPTBF))
+>>> result.summary.aggregate_mib_s > 0
+True
+"""
+
+from repro.cluster import (
+    Cluster,
+    ClusterConfig,
+    ExperimentResult,
+    Mechanism,
+    build_cluster,
+    run_experiment,
+    run_scenario,
+)
+from repro.core import AdapTbf, TokenAllocationAlgorithm
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdapTbf",
+    "Cluster",
+    "ClusterConfig",
+    "ExperimentResult",
+    "Mechanism",
+    "TokenAllocationAlgorithm",
+    "build_cluster",
+    "run_experiment",
+    "run_scenario",
+    "__version__",
+]

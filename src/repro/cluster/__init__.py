@@ -1,0 +1,20 @@
+"""Cluster assembly and experiment driving.
+
+:mod:`repro.cluster.builder` wires clients → network → OSS/OST with the
+chosen bandwidth-control mechanism; :mod:`repro.cluster.experiment` runs a
+scenario to completion and collects the timelines and summaries the paper's
+figures are built from.
+"""
+
+from repro.cluster.builder import Cluster, ClusterConfig, Mechanism, build_cluster
+from repro.cluster.experiment import ExperimentResult, run_experiment, run_scenario
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "ExperimentResult",
+    "Mechanism",
+    "build_cluster",
+    "run_experiment",
+    "run_scenario",
+]

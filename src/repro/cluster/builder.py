@@ -1,0 +1,259 @@
+"""Cluster construction.
+
+Assembles the simulated counterpart of the paper's CloudLab testbed
+(Table II): one OSS node fronting an OST, a set of client processes grouped
+into jobs, and one of three bandwidth-control mechanisms:
+
+* ``Mechanism.NONE``     — *No BW*: FIFO NRS, no rate control;
+* ``Mechanism.STATIC``   — *Static BW*: TBF rules fixed at global node share;
+* ``Mechanism.ADAPTBF``  — the paper's framework, one controller per OST.
+
+Simulator defaults stand in for the paper's hardware: the c6525-25g OSS has
+two 480 GB SATA SSDs (~500 MiB/s each) and a 25 GbE NIC, so the OST-bandwidth
+bottleneck sits around 1 GiB/s; ``capacity_mib_s`` defaults to 1024.  Tokens
+follow the paper's convention (1 token = 1 RPC = 1 MiB payload), making the
+OST's maximum token rate ``T_i = capacity / rpc_size``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.ablation import VARIANTS
+from repro.core.baselines import install_static_rules
+from repro.core.framework import AdapTbf
+from repro.lustre.client import ClientProcess
+from repro.lustre.network import Network
+from repro.lustre.nrs import FifoPolicy, TbfPolicy
+from repro.lustre.oss import Oss
+from repro.lustre.ost import Ost
+from repro.sim.engine import Environment
+from repro.workloads.spec import JobSpec, validate_jobs
+
+__all__ = ["Mechanism", "ClusterConfig", "Cluster", "build_cluster"]
+
+MIB = 1 << 20
+
+
+class Mechanism(enum.Enum):
+    """Bandwidth-control mechanism under test (paper §IV-C)."""
+
+    NONE = "none"
+    STATIC = "static"
+    ADAPTBF = "adaptbf"
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Cluster and mechanism parameters.
+
+    Parameters
+    ----------
+    mechanism:
+        Which bandwidth control to install.
+    capacity_mib_s:
+        OST disk bandwidth in MiB/s (default ≈ the paper's SSD OST).
+    rpc_size:
+        Bulk RPC payload; 1 token = 1 RPC of this size.
+    io_threads:
+        OSS I/O thread count (paper node: 16 cores).
+    net_latency_s:
+        One-way client↔OSS latency.
+    interval_s:
+        AdapTBF observation period Δt (ignored by the baselines).
+    overhead_s:
+        Simulated per-round AdapTBF overhead (§IV-G measured ~25 ms; 0
+        models the paper's proposed in-Lustre integration).
+    bucket_depth:
+        TBF bucket depth for all rules.
+    variant:
+        AdapTBF algorithm variant name from
+        :data:`repro.core.ablation.VARIANTS` ("full" = the paper's design).
+    n_osts:
+        Number of (OSS, OST) pairs.  ``capacity_mib_s`` is *per OST*.
+        With AdapTBF each OST runs its own fully independent controller —
+        the paper's decentralized deployment (§II-B).
+    stripe_count:
+        OSTs per file (Lustre layout).  1 (the Lustre default) places each
+        process's file wholly on one OST, assigned round-robin; larger
+        values stripe each file's chunks across that many OSTs.
+    """
+
+    mechanism: Mechanism = Mechanism.ADAPTBF
+    capacity_mib_s: float = 1024.0
+    rpc_size: int = MIB
+    io_threads: int = 16
+    net_latency_s: float = 100e-6
+    interval_s: float = 0.1
+    overhead_s: float = 0.0
+    bucket_depth: float = 3.0
+    variant: str = "full"
+    n_osts: int = 1
+    stripe_count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.capacity_mib_s <= 0:
+            raise ValueError("capacity must be positive")
+        if self.rpc_size <= 0:
+            raise ValueError("rpc_size must be positive")
+        if self.variant not in VARIANTS:
+            raise ValueError(
+                f"unknown variant {self.variant!r}; options: {sorted(VARIANTS)}"
+            )
+        if self.n_osts <= 0:
+            raise ValueError("n_osts must be positive")
+        if not (1 <= self.stripe_count <= self.n_osts):
+            raise ValueError(
+                f"stripe_count must be in [1, n_osts], got {self.stripe_count}"
+            )
+
+    @property
+    def capacity_bps(self) -> float:
+        return self.capacity_mib_s * MIB
+
+    @property
+    def max_token_rate(self) -> float:
+        """``T_i``: tokens/second one OST can actually serve."""
+        return self.capacity_bps / self.rpc_size
+
+
+@dataclass
+class Cluster:
+    """A built cluster: handles to every component of one experiment.
+
+    Single-OST accessors (``ost``, ``oss``, ``adaptbf``) refer to the first
+    target and remain the convenient surface for the common one-OST
+    experiments; multi-OST code iterates ``osts`` / ``osses`` /
+    ``controllers``.
+    """
+
+    env: Environment
+    config: ClusterConfig
+    osts: List[Ost]
+    osses: List[Oss]
+    network: Network
+    clients: List[ClientProcess] = field(default_factory=list)
+    #: One independent AdapTBF controller per OST (empty for baselines).
+    controllers: List[AdapTbf] = field(default_factory=list)
+    #: Static rule rates per OST (None unless mechanism is STATIC).
+    static_rates: Optional[List[Dict[str, float]]] = None
+
+    @property
+    def ost(self) -> Ost:
+        return self.osts[0]
+
+    @property
+    def oss(self) -> Oss:
+        return self.osses[0]
+
+    @property
+    def adaptbf(self) -> Optional[AdapTbf]:
+        return self.controllers[0] if self.controllers else None
+
+    @property
+    def client_processes(self):
+        return [client.process for client in self.clients]
+
+    def all_clients_done(self):
+        """Event that fires when every client process has finished."""
+        return self.env.all_of(self.client_processes)
+
+    def total_capacity_bps(self) -> float:
+        return sum(ost.capacity_bps for ost in self.osts)
+
+    def mean_utilization(self, since: float, until: Optional[float] = None) -> float:
+        return sum(ost.utilization(since, until) for ost in self.osts) / len(
+            self.osts
+        )
+
+
+def build_cluster(
+    env: Environment,
+    config: ClusterConfig,
+    jobs: List[JobSpec],
+    algorithm_factory=None,
+) -> Cluster:
+    """Assemble a cluster running ``jobs`` under ``config.mechanism``.
+
+    ``algorithm_factory`` (no-arg callable returning a
+    :class:`~repro.core.allocation.TokenAllocationAlgorithm`) overrides
+    ``config.variant`` — the hook for injecting custom estimators or
+    experimental allocator builds; one instance is created per OST.
+    """
+    validate_jobs(jobs)
+    from repro.lustre.striping import StripeLayout
+
+    osts: List[Ost] = []
+    osses: List[Oss] = []
+    for index in range(config.n_osts):
+        ost = Ost(env, f"OST{index:04d}", capacity_bps=config.capacity_bps)
+        if config.mechanism is Mechanism.NONE:
+            policy = FifoPolicy(env)
+        else:
+            policy = TbfPolicy(env)
+        osts.append(ost)
+        osses.append(Oss(env, ost, policy, io_threads=config.io_threads))
+    network = Network(env, latency_s=config.net_latency_s)
+
+    nodes = {job.job_id: job.nodes for job in jobs}
+    cluster = Cluster(
+        env=env, config=config, osts=osts, osses=osses, network=network
+    )
+
+    if config.mechanism is Mechanism.STATIC:
+        cluster.static_rates = [
+            install_static_rules(
+                oss.policy,
+                nodes=nodes,
+                max_token_rate=config.max_token_rate,
+                bucket_depth=config.bucket_depth,
+            )
+            for oss in osses
+        ]
+    elif config.mechanism is Mechanism.ADAPTBF:
+        factory = algorithm_factory or VARIANTS[config.variant]
+        # Decentralized: one controller per OST, no shared state between
+        # them beyond the (static) job→nodes map.
+        cluster.controllers = [
+            AdapTbf(
+                env,
+                oss,
+                nodes=nodes,
+                max_token_rate=config.max_token_rate,
+                interval_s=config.interval_s,
+                overhead_s=config.overhead_s,
+                bucket_depth=config.bucket_depth,
+                algorithm=factory(),
+            )
+            for oss in osses
+        ]
+
+    # Round-robin file placement: process k's file starts on OST
+    # (k mod n_osts) and spans `stripe_count` targets, like Lustre's
+    # default allocator spreading files across the cluster.
+    file_counter = 0
+    for job in jobs:
+        for proc_index, proc in enumerate(job.processes):
+            start = file_counter % config.n_osts
+            file_counter += 1
+            targets = [
+                osses[(start + k) % config.n_osts]
+                for k in range(config.stripe_count)
+            ]
+            layout = StripeLayout(targets, stripe_size=config.rpc_size)
+            cluster.clients.append(
+                ClientProcess(
+                    env,
+                    network,
+                    targets[0],
+                    job_id=job.job_id,
+                    client_id=f"{job.job_id}.p{proc_index}",
+                    program=proc.pattern.program,
+                    rpc_size=config.rpc_size,
+                    window=proc.window,
+                    layout=layout,
+                )
+            )
+    return cluster

@@ -1,0 +1,144 @@
+"""Experiment driver: run one scenario under one mechanism, collect metrics.
+
+``run_experiment`` is the single entry point every bench, example and
+integration test uses: it builds the cluster, attaches a
+:class:`~repro.metrics.timeline.Timeline` to the OSS completion stream, runs
+the simulation until the jobs finish (or a duration cap), and returns
+everything the paper's figures need — timelines, completion times, OST
+utilization, and (for AdapTBF) the full allocation/record history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.builder import Cluster, ClusterConfig, build_cluster
+from repro.core.types import AllocationRound
+from repro.metrics.summary import BandwidthSummary, summarize
+from repro.metrics.timeline import Timeline
+from repro.sim.engine import Environment
+from repro.workloads.scenarios import Scenario
+from repro.workloads.spec import JobSpec
+
+__all__ = ["ExperimentResult", "run_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured in one run."""
+
+    mechanism: str
+    duration_s: float
+    timeline: Timeline
+    summary: BandwidthSummary
+    job_completion_s: Dict[str, float]
+    #: Mean utilization across all OSTs.
+    ost_utilization: float
+    clients_finished: bool
+    #: AdapTBF allocation history of the *first* OST (empty for baselines).
+    history: List[AllocationRound] = field(default_factory=list)
+    #: Per-OST histories for multi-OST runs (``[history]`` for one OST).
+    per_ost_histories: List[List[AllocationRound]] = field(default_factory=list)
+
+    def record_series(self, job_id: str):
+        """``[(time, record)]`` for Fig. 7 (AdapTBF runs only)."""
+        return [(r.time, r.records.get(job_id, 0)) for r in self.history]
+
+    def demand_series(self, job_id: str):
+        """``[(time, demand)]`` for Fig. 7 (AdapTBF runs only)."""
+        return [(r.time, r.demands.get(job_id, 0)) for r in self.history]
+
+
+def run_experiment(
+    config: ClusterConfig,
+    jobs: List[JobSpec],
+    duration_s: Optional[float] = None,
+    bin_s: float = 0.1,
+    algorithm_factory=None,
+) -> ExperimentResult:
+    """Run ``jobs`` under ``config``; see :class:`ExperimentResult`.
+
+    Parameters
+    ----------
+    duration_s:
+        Cap on simulated time.  Without a cap the run ends when every client
+        process finishes (the §IV-D style); with one, whatever finished by
+        the deadline is measured (the §IV-E/F style, where continuous jobs
+        would otherwise dominate wall time).
+    bin_s:
+        Timeline bin width (paper: 100 ms).
+    algorithm_factory:
+        Optional override for the AdapTBF algorithm construction (see
+        :func:`~repro.cluster.builder.build_cluster`).
+    """
+    env = Environment()
+    cluster = build_cluster(env, config, jobs, algorithm_factory=algorithm_factory)
+    timeline = Timeline(bin_s=bin_s)
+
+    completion: Dict[str, float] = {}
+    outstanding = {
+        job.job_id: sum(1 for _ in job.processes) for job in jobs
+    }
+
+    def on_complete(rpc):
+        timeline.record_rpc(rpc)
+
+    for oss in cluster.osses:
+        oss.on_complete(on_complete)
+
+    # Track per-job completion: a job completes when all its processes do.
+    for client in cluster.clients:
+        def mark_done(event, job_id=client.io.job_id):
+            outstanding[job_id] -= 1
+            if outstanding[job_id] == 0:
+                completion[job_id] = env.now
+
+        client.process.add_callback(mark_done)
+
+    done = cluster.all_clients_done()
+    if duration_s is None:
+        env.run(until=done)
+        duration = env.now
+        finished = True
+    else:
+        env.run(until=duration_s)
+        duration = duration_s
+        finished = done.processed
+
+    job_ids = [job.job_id for job in jobs]
+    summary = summarize(
+        mechanism=config.mechanism.value,
+        timeline=timeline,
+        duration_s=duration,
+        jobs=job_ids,
+        job_completion_s=completion,
+    )
+    histories = [list(ctrl.history) for ctrl in cluster.controllers]
+    return ExperimentResult(
+        mechanism=config.mechanism.value,
+        duration_s=duration,
+        timeline=timeline,
+        summary=summary,
+        job_completion_s=dict(completion),
+        ost_utilization=cluster.mean_utilization(0.0, duration),
+        clients_finished=finished,
+        history=histories[0] if histories else [],
+        per_ost_histories=histories,
+    )
+
+
+def run_scenario(
+    scenario: Scenario,
+    config: ClusterConfig,
+    bin_s: float = 0.1,
+    algorithm_factory=None,
+) -> ExperimentResult:
+    """Run a prebuilt :class:`~repro.workloads.scenarios.Scenario`."""
+    return run_experiment(
+        config,
+        scenario.jobs,
+        duration_s=scenario.duration_s,
+        bin_s=bin_s,
+        algorithm_factory=algorithm_factory,
+    )

@@ -1,0 +1,52 @@
+"""AdapTBF — adaptive token-borrowing bandwidth control (the paper's core).
+
+The package mirrors the architecture of paper Fig. 2:
+
+* :mod:`repro.core.allocation` — the three-step Token Allocation Algorithm
+  (priority-based initial allocation, surplus redistribution, borrowed-token
+  re-compensation; Eq. 1–20);
+* :mod:`repro.core.remainders` — fractional-token remainder accounting with
+  largest-remainder correction (Eq. 21–25);
+* :mod:`repro.core.records` — the per-job lending/borrowing ledger;
+* :mod:`repro.core.controller` — the System Stats Controller driving the
+  observation loop;
+* :mod:`repro.core.rule_daemon` — the Rule Management Daemon translating
+  allocations into TBF rules;
+* :mod:`repro.core.framework` — the :class:`AdapTbf` facade wiring one
+  controller per OST (decentralized: no cross-OST communication);
+* :mod:`repro.core.baselines` — the paper's §IV-C comparison points
+  (*No BW*, *Static BW*);
+* :mod:`repro.core.ablation` — allocator variants that disable individual
+  design elements, used by the ablation benches.
+"""
+
+from repro.core.allocation import TokenAllocationAlgorithm
+from repro.core.baselines import StaticBwAllocator, install_static_rules
+from repro.core.controller import SystemStatsController
+from repro.core.framework import AdapTbf
+from repro.core.records import JobRecords
+from repro.core.remainders import RemainderStore
+from repro.core.rule_daemon import RuleManagementDaemon
+from repro.core.types import (
+    AllocationInput,
+    AllocationResult,
+    AllocationRound,
+    JobAllocation,
+    JobInfo,
+)
+
+__all__ = [
+    "AdapTbf",
+    "AllocationInput",
+    "AllocationResult",
+    "AllocationRound",
+    "JobAllocation",
+    "JobInfo",
+    "JobRecords",
+    "RemainderStore",
+    "RuleManagementDaemon",
+    "StaticBwAllocator",
+    "SystemStatsController",
+    "TokenAllocationAlgorithm",
+    "install_static_rules",
+]

@@ -1,0 +1,279 @@
+"""The three-step Token Allocation Algorithm (paper §III-C).
+
+One instance runs per OST, fully decentralized: it sees only that OST's
+active-job demands and produces the token allocation for the next observation
+period.  The three sequential steps are:
+
+**1. Priority-based initial allocation** (Eq. 1–2)
+    ``p_x = n_x / Σ n`` over active jobs; ``α_x = T_i · p_x · Δt``.
+
+**2. Redistribution of surplus tokens** (Eq. 3–8)
+    Utilization ``u_x = d_x / α^{t-1}_x``; surplus ``T^x_s = max(0, α_x − d_x)``
+    is pooled and redistributed by the distribution factor
+
+    .. math:: DF_x = \\begin{cases} u_x + u_x p_x & u_x > 1 \\\\
+                                    u_x p_x       & u_x \\le 1 \\end{cases}
+
+    so deficit jobs dominate, ranked by priority within each class.  The
+    record ledger moves opposite to tokens (lenders up, borrowers down).
+
+**3. Re-compensation for borrowed tokens** (Eq. 9–20)
+    Lenders (``r > 0`` before *and* after step 2) reclaim from borrowers
+    (``r < 0`` before and after), bounded by each borrower's debt and scaled
+    by the reclaim coefficient ``C`` built from priority, current utilization
+    and estimated future utilization (``d̄^{t+Δt} = d^t``).
+
+Every distribution passes through the shared
+:class:`~repro.core.remainders.RemainderStore` so integer totals are exact
+and fractions are repaid over time (§III-C4).
+
+Interpretation choices where the paper under-specifies (see DESIGN.md §5):
+``u_x`` for first-seen jobs falls back to the current initial allocation;
+``C`` is a scalar (the Eq. 13 summation leaves no ``x`` dependence); the
+reclaim from a borrower is additionally clamped to its post-redistribution
+allocation so allocations can never go negative.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.prediction import DemandEstimator, LastValueEstimator
+from repro.core.records import JobRecords
+from repro.core.remainders import RemainderStore
+from repro.core.types import (
+    AllocationInput,
+    AllocationResult,
+    JobAllocation,
+)
+
+__all__ = ["TokenAllocationAlgorithm"]
+
+
+class TokenAllocationAlgorithm:
+    """Stateful per-OST token allocator.
+
+    Parameters
+    ----------
+    enable_redistribution:
+        Disable to stop after step 1 (ablation: priority-only, still adapts
+        to the active set but is not work-conserving).
+    enable_recompensation:
+        Disable to stop after step 2 (ablation: borrowing without paying
+        back, which sacrifices long-term fairness).
+    df_priority_aware:
+        When False, the distribution factor ignores priority
+        (``DF_x = u_x``), an ablation of the Eq. 6 design.
+    demand_estimator:
+        Predictor for next-period demand used in the re-compensation
+        step's future-utilization score (Eq. 11-12).  Defaults to the
+        paper's last-value assumption; see :mod:`repro.core.prediction`
+        for the §IV-E "pattern hint" extensions.
+
+    Notes
+    -----
+    The instance keeps three pieces of state across rounds: the previous
+    final allocation per job (for ``u_x``), the record ledger and the
+    remainder store.  Everything else is recomputed each round, which is why
+    the paper measures O(n) time per round (§IV-G).
+    """
+
+    def __init__(
+        self,
+        enable_redistribution: bool = True,
+        enable_recompensation: bool = True,
+        df_priority_aware: bool = True,
+        demand_estimator: Optional[DemandEstimator] = None,
+    ) -> None:
+        self.enable_redistribution = enable_redistribution
+        self.enable_recompensation = enable_recompensation
+        self.df_priority_aware = df_priority_aware
+        self.demand_estimator = demand_estimator or LastValueEstimator()
+        self.records = JobRecords()
+        self.remainders = RemainderStore()
+        self._previous_allocation: Dict[str, int] = {}
+        self.rounds_run = 0
+
+    # ------------------------------------------------------------------ API --
+    def allocate(self, inputs: AllocationInput) -> AllocationResult:
+        """Run one allocation round and return the per-job token grants."""
+        active = sorted(inputs.demands)
+        total = inputs.total_tokens
+        demands = {job: int(inputs.demands[job]) for job in active}
+        for job in active:
+            self.demand_estimator.observe(job, demands[job])
+
+        # -- Step 1: priority-based initial allocation (Eq. 1-2) ------------
+        total_nodes = sum(inputs.nodes[job] for job in active)
+        priority = {job: inputs.nodes[job] / total_nodes for job in active}
+        raw_initial = {job: total * priority[job] for job in active}
+        alpha = self.remainders.integerize(raw_initial, total)
+        initial = dict(alpha)
+
+        # -- Step 2: redistribution of surplus tokens (Eq. 3-8) --------------
+        utilization = {
+            job: self._utilization(job, demands[job], alpha[job]) for job in active
+        }
+        record_before = {job: self.records.get(job) for job in active}
+        surplus = {job: 0 for job in active}
+        share_rd = {job: 0 for job in active}
+        record_rd = dict(record_before)
+
+        if self.enable_redistribution:
+            surplus = {
+                job: max(0, alpha[job] - demands[job]) for job in active
+            }
+            pool = sum(surplus.values())
+            if pool > 0:
+                df = self._distribution_factors(active, utilization, priority)
+                df_sum = sum(df.values())
+                if df_sum > 0:
+                    raw_shares = {
+                        job: pool * df[job] / df_sum for job in active
+                    }
+                    share_rd = self.remainders.integerize(raw_shares, pool)
+                    for job in active:
+                        alpha[job] = alpha[job] - surplus[job] + share_rd[job]
+                        record_rd[job] = (
+                            record_before[job] + surplus[job] - share_rd[job]
+                        )
+                else:  # pragma: no cover - u>0 for active jobs ⇒ df_sum>0
+                    surplus = {job: 0 for job in active}
+        after_rd = dict(alpha)
+
+        # -- Step 3: re-compensation for borrowed tokens (Eq. 9-20) -----------
+        reclaimed = {job: 0 for job in active}
+        share_rc = {job: 0 for job in active}
+        record_rc = dict(record_rd)
+
+        if self.enable_recompensation:
+            plus = [
+                j for j in active if record_before[j] > 0 and record_rd[j] > 0
+            ]
+            minus = [
+                j for j in active if record_before[j] < 0 and record_rd[j] < 0
+            ]
+            if plus and minus:
+                coefficient = self._reclaim_coefficient(
+                    plus, priority, utilization, demands, after_rd
+                )
+                for job in minus:
+                    bound = min(
+                        -record_rd[job],  # the debt (|r| with r < 0)
+                        int(coefficient * after_rd[job]),  # Eq. 14 floor
+                        after_rd[job],  # cannot take more than it has
+                    )
+                    reclaimed[job] = max(0, bound)
+                pool = sum(reclaimed.values())
+                if pool > 0:
+                    df = self._distribution_factors(plus, utilization, priority)
+                    df_sum = sum(df.values())
+                    raw_shares = {job: pool * df[job] / df_sum for job in plus}
+                    share_rc = {job: 0 for job in active}
+                    share_rc.update(self.remainders.integerize(raw_shares, pool))
+                    for job in minus:
+                        alpha[job] -= reclaimed[job]
+                        record_rc[job] = record_rd[job] + reclaimed[job]
+                    for job in plus:
+                        alpha[job] += share_rc[job]
+                        record_rc[job] = record_rd[job] - share_rc[job]
+
+        # -- persist state & build the result ---------------------------------
+        per_job: Dict[str, JobAllocation] = {}
+        for job in active:
+            self.records.set(job, record_rc[job])
+            self._previous_allocation[job] = alpha[job]
+            per_job[job] = JobAllocation(
+                job_id=job,
+                priority=priority[job],
+                demand=demands[job],
+                utilization=utilization[job],
+                initial=initial[job],
+                surplus=surplus[job],
+                redistribution_share=share_rd[job],
+                after_redistribution=after_rd[job],
+                reclaimed=reclaimed[job],
+                recompensation_share=share_rc[job],
+                final=alpha[job],
+                record_before=record_before[job],
+                record_after=record_rc[job],
+            )
+        self.rounds_run += 1
+        return AllocationResult(
+            allocations=dict(alpha),
+            per_job=per_job,
+            total_tokens=total,
+            surplus_pool=sum(surplus.values()),
+            reclaimed_pool=sum(reclaimed.values()),
+        )
+
+    # --------------------------------------------------------------- helpers --
+    def _utilization(self, job: str, demand: int, current_initial: int) -> float:
+        """Eq. 3 with the DESIGN.md deviation-1 fallback chain.
+
+        ``u_x = d_x / α^{t-1}_x``; when the job has no previous allocation
+        (first time active) fall back to its current initial allocation,
+        then to 1 token, so the score stays finite and meaningful.
+        """
+        denominator = self._previous_allocation.get(job, 0)
+        if denominator <= 0:
+            denominator = current_initial
+        if denominator <= 0:
+            denominator = 1
+        return demand / denominator
+
+    def _distribution_factors(
+        self,
+        jobs,
+        utilization: Dict[str, float],
+        priority: Dict[str, float],
+    ) -> Dict[str, float]:
+        """Eq. 6 (also reused as the recompensation factor, Eq. 18)."""
+        factors = {}
+        for job in jobs:
+            u, p = utilization[job], priority[job]
+            if not self.df_priority_aware:
+                factors[job] = u
+            elif u > 1.0:
+                factors[job] = u + u * p
+            else:
+                factors[job] = u * p
+        return factors
+
+    def _reclaim_coefficient(
+        self,
+        plus,
+        priority: Dict[str, float],
+        utilization: Dict[str, float],
+        demands: Dict[str, int],
+        after_rd: Dict[str, int],
+    ) -> float:
+        """Eq. 12-13: the scalar reclaim coefficient over ``J+``.
+
+        Future demand ``d̄`` comes from the configured estimator (the
+        paper's Eq. 11 default: last value, ``d̄ = d``); an allocation of
+        zero makes the estimated future utilization infinite, i.e. no
+        head-room discount.
+        """
+        coefficient = 0.0
+        for job in plus:
+            estimated = self.demand_estimator.estimate(job)
+            if after_rd[job] > 0:
+                future_u = estimated / after_rd[job]
+            else:
+                future_u = float("inf")
+            head_room = max(0.0, 1.0 - future_u)
+            coefficient += (
+                priority[job] * (max(1.0, utilization[job]) + head_room) / 2.0
+            )
+        return coefficient
+
+    # ------------------------------------------------------------ inspection --
+    def previous_allocation(self, job_id: str) -> Optional[int]:
+        return self._previous_allocation.get(job_id)
+
+    def forget_job(self, job_id: str) -> None:
+        """Drop all state for a retired job (record, remainder, history)."""
+        self.records.set(job_id, 0)
+        self.remainders.drop(job_id)
+        self._previous_allocation.pop(job_id, None)

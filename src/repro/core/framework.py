@@ -1,0 +1,112 @@
+"""The AdapTBF facade: one self-contained controller per OST.
+
+:class:`AdapTbf` wires together the pieces of paper Fig. 2 — stats tracker
+(owned by the OSS), token allocation algorithm, rule management daemon and
+system stats controller — for a single OST.  Decentralization falls out of
+the construction: an :class:`AdapTbf` instance touches nothing beyond its own
+OSS/OST, so a multi-target deployment is simply one instance per target.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Mapping
+
+from repro.core.allocation import TokenAllocationAlgorithm
+from repro.core.controller import SystemStatsController
+from repro.core.rule_daemon import RuleManagementDaemon
+from repro.core.types import AllocationRound
+from repro.lustre.nrs import TbfPolicy
+from repro.lustre.oss import Oss
+from repro.lustre.tbf import DEFAULT_BUCKET_DEPTH
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+__all__ = ["AdapTbf"]
+
+
+class AdapTbf:
+    """Adaptive token-borrowing bandwidth control for one OST.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    oss:
+        The OSS fronting the controlled OST.  Its NRS policy **must** be a
+        :class:`~repro.lustre.nrs.TbfPolicy` (AdapTBF extends TBF; it cannot
+        control a FIFO scheduler).
+    nodes:
+        ``{job_id → compute nodes}`` — scheduler knowledge used for priority.
+    max_token_rate:
+        ``T_i`` in tokens/second.  A natural choice is OST capacity divided
+        by RPC size so tokens map 1:1 onto deliverable RPCs.
+    interval_s:
+        Observation period ``Δt``; the paper settles on 100 ms (§IV-H).
+    overhead_s:
+        Simulated per-round overhead (0 by default; §IV-G measured ~25 ms).
+    bucket_depth:
+        TBF bucket depth for managed rules.
+    algorithm:
+        Optionally inject a pre-configured/ablated allocation algorithm.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        oss: Oss,
+        nodes: Mapping[str, int],
+        max_token_rate: float,
+        interval_s: float = 0.1,
+        overhead_s: float = 0.0,
+        bucket_depth: float = DEFAULT_BUCKET_DEPTH,
+        algorithm: TokenAllocationAlgorithm | None = None,
+    ) -> None:
+        if not isinstance(oss.policy, TbfPolicy):
+            raise TypeError(
+                "AdapTBF requires a TbfPolicy NRS; got "
+                f"{type(oss.policy).__name__}"
+            )
+        self.env = env
+        self.oss = oss
+        self.algorithm = algorithm or TokenAllocationAlgorithm()
+        self.daemon = RuleManagementDaemon(oss.policy, bucket_depth=bucket_depth)
+        self.controller = SystemStatsController(
+            env,
+            jobstats=oss.jobstats,
+            algorithm=self.algorithm,
+            daemon=self.daemon,
+            nodes=nodes,
+            max_token_rate=max_token_rate,
+            interval_s=interval_s,
+            overhead_s=overhead_s,
+        )
+
+    # -- convenience passthroughs ------------------------------------------------
+    @property
+    def history(self) -> List[AllocationRound]:
+        """All allocation rounds so far (Fig. 7 is plotted from this)."""
+        return self.controller.history
+
+    @property
+    def records(self) -> Dict[str, int]:
+        """Current lending/borrowing ledger snapshot."""
+        return self.algorithm.records.snapshot()
+
+    def register_job(self, job_id: str, nodes: int) -> None:
+        """Introduce a job that arrives after construction."""
+        self.controller.register_job(job_id, nodes)
+
+    def record_series(self, job_id: str) -> List[tuple]:
+        """``[(time, record)]`` for one job across all rounds (Fig. 7)."""
+        return [
+            (round_.time, round_.records.get(job_id, 0))
+            for round_ in self.history
+        ]
+
+    def demand_series(self, job_id: str) -> List[tuple]:
+        """``[(time, demand_rpcs)]`` for one job across all rounds (Fig. 7)."""
+        return [
+            (round_.time, round_.demands.get(job_id, 0))
+            for round_ in self.history
+        ]

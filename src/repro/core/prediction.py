@@ -1,0 +1,109 @@
+"""Pluggable demand estimators (paper §IV-E future-work hook).
+
+Eq. 11 estimates next-period demand as ``d̄^{t+Δt}_x = d^t_x`` — last value
+carried forward — and the paper notes that pattern hints could make the
+re-compensation step better informed ("beyond the scope of the current
+study").  This module implements that extension point: a
+:class:`DemandEstimator` maps a job's observed demand history to the
+``d̄`` used in the future-utilization score (Eq. 12), leaving every other
+part of the algorithm untouched.
+
+Estimators provided:
+
+* :class:`LastValueEstimator` — the paper's assumption (default);
+* :class:`EwmaEstimator` — exponentially weighted moving average, smooths
+  one-period spikes so a single idle interval doesn't zero a lender's
+  claim;
+* :class:`PeakHoldEstimator` — recent-window maximum, a conservative
+  estimate for periodic burst patterns (claims enough for the *next*
+  burst even while idle between bursts).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Protocol
+
+__all__ = [
+    "DemandEstimator",
+    "LastValueEstimator",
+    "EwmaEstimator",
+    "PeakHoldEstimator",
+]
+
+
+class DemandEstimator(Protocol):
+    """Maps observed demand to the estimate used in Eq. 12."""
+
+    def observe(self, job_id: str, demand: int) -> None:
+        """Feed one period's observed demand ``d^t_x``."""
+        ...
+
+    def estimate(self, job_id: str) -> float:
+        """Return ``d̄^{t+Δt}_x`` for the re-compensation step."""
+        ...
+
+
+class LastValueEstimator:
+    """The paper's Eq. 11: next demand = this period's demand."""
+
+    def __init__(self) -> None:
+        self._last: Dict[str, int] = {}
+
+    def observe(self, job_id: str, demand: int) -> None:
+        self._last[job_id] = demand
+
+    def estimate(self, job_id: str) -> float:
+        return float(self._last.get(job_id, 0))
+
+
+class EwmaEstimator:
+    """Exponentially weighted moving average of demand.
+
+    Parameters
+    ----------
+    alpha:
+        Weight of the newest observation; 1.0 degenerates to
+        :class:`LastValueEstimator`.
+    """
+
+    def __init__(self, alpha: float = 0.4) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value: Dict[str, float] = {}
+
+    def observe(self, job_id: str, demand: int) -> None:
+        previous = self._value.get(job_id)
+        if previous is None:
+            self._value[job_id] = float(demand)
+        else:
+            self._value[job_id] = (
+                self.alpha * demand + (1.0 - self.alpha) * previous
+            )
+
+    def estimate(self, job_id: str) -> float:
+        return self._value.get(job_id, 0.0)
+
+
+class PeakHoldEstimator:
+    """Maximum demand over the last ``window`` periods.
+
+    Suited to periodic bursts: between bursts the estimate stays at the
+    burst magnitude, so the lender's future claim anticipates the next
+    burst instead of evaporating during the quiet phase.
+    """
+
+    def __init__(self, window: int = 10) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self._history: Dict[str, Deque[int]] = {}
+
+    def observe(self, job_id: str, demand: int) -> None:
+        history = self._history.setdefault(job_id, deque(maxlen=self.window))
+        history.append(demand)
+
+    def estimate(self, job_id: str) -> float:
+        history = self._history.get(job_id)
+        return float(max(history)) if history else 0.0

@@ -1,0 +1,95 @@
+"""Rule Management Daemon (paper §III-D).
+
+Translates an allocation round into live TBF rules on the OSS:
+
+* stops rules of jobs that were not active this period (their queued RPCs
+  drain through the fallback queue, so nothing starves);
+* creates rules for newly active jobs and re-rates existing ones;
+* establishes the rule *hierarchy*: ranks follow job priority so that when
+  several queues' token deadlines coincide, idle I/O threads pick the
+  higher-priority job's queue first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.core.types import AllocationResult
+from repro.lustre.nrs import TbfPolicy
+from repro.lustre.tbf import DEFAULT_BUCKET_DEPTH, TbfRule
+
+__all__ = ["RuleManagementDaemon"]
+
+
+class RuleManagementDaemon:
+    """Applies allocation results to a :class:`~repro.lustre.nrs.TbfPolicy`.
+
+    Parameters
+    ----------
+    policy:
+        The TBF policy of the OSS serving this OST.
+    bucket_depth:
+        Depth for newly created rules (burst allowance).
+    rule_prefix:
+        Rule-name prefix; rules are named ``{prefix}{job_id}``.
+    """
+
+    def __init__(
+        self,
+        policy: TbfPolicy,
+        bucket_depth: float = DEFAULT_BUCKET_DEPTH,
+        rule_prefix: str = "adaptbf_",
+    ) -> None:
+        self.policy = policy
+        self.bucket_depth = bucket_depth
+        self.rule_prefix = rule_prefix
+        self.rules_created = 0
+        self.rules_stopped = 0
+        self.rate_changes = 0
+
+    def rule_name(self, job_id: str) -> str:
+        return f"{self.rule_prefix}{job_id}"
+
+    def apply(self, result: AllocationResult, interval_s: float) -> None:
+        """Reconcile live rules with ``result`` (steps 5–7 of Fig. 2)."""
+        ranks = self._ranks({j: a.priority for j, a in result.per_job.items()})
+
+        # Stop rules for jobs that fell out of the active set.
+        managed = [
+            name
+            for name in self.policy.rule_names()
+            if name.startswith(self.rule_prefix)
+        ]
+        for name in managed:
+            job_id = name[len(self.rule_prefix) :]
+            if job_id not in result.allocations:
+                self.policy.stop_rule(name)
+                self.rules_stopped += 1
+
+        # Create/re-rate rules for active jobs.
+        for job_id, tokens in result.allocations.items():
+            rate = tokens / interval_s
+            name = self.rule_name(job_id)
+            if self.policy.has_rule_for_job(job_id):
+                self.policy.change_rate(name, rate, rank=ranks[job_id])
+                self.rate_changes += 1
+            else:
+                self.policy.start_rule(
+                    TbfRule(
+                        name=name,
+                        job_id=job_id,
+                        rate=rate,
+                        depth=self.bucket_depth,
+                        rank=ranks[job_id],
+                    )
+                )
+                self.rules_created += 1
+
+    @staticmethod
+    def _ranks(priorities: Mapping[str, float]) -> Dict[str, int]:
+        """Rank jobs by priority: highest priority → rank 0 (served first).
+
+        Ties broken by job id for determinism.
+        """
+        ordered = sorted(priorities, key=lambda j: (-priorities[j], j))
+        return {job: rank for rank, job in enumerate(ordered)}

@@ -1,0 +1,107 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments fig3            # E1 (Fig. 3-4) report
+    python -m repro.experiments fig5 --full     # E2 at paper scale
+    python -m repro.experiments fig7 --csv out/ # E3 + CSV export
+    python -m repro.experiments fig9
+    python -m repro.experiments overhead
+    python -m repro.experiments all             # everything, in order
+
+Exit status is non-zero if any shape check fails, so the runner doubles as
+a reproduction gate in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import fig3_fig4, fig5_fig6, fig7_fig8, fig9, overhead
+from repro.experiments.common import bench_scale, full_scale
+from repro.metrics.export import export_all
+
+FIGURE_EXPERIMENTS = {
+    "fig3": fig3_fig4,
+    "fig4": fig3_fig4,
+    "fig5": fig5_fig6,
+    "fig6": fig5_fig6,
+    "fig7": fig7_fig8,
+    "fig8": fig7_fig8,
+}
+
+
+def _run_figure(module, name: str, scale, csv_dir) -> bool:
+    comparison = module.run(scale)
+    print(module.report(comparison))
+    if csv_dir:
+        written = export_all(comparison.results, csv_dir, prefix=name)
+        print(f"\nCSV written: {', '.join(str(p) for p in written.values())}")
+    return all(check.passed for check in module.check_shapes(comparison))
+
+
+def _run_fig9(scale, csv_dir) -> bool:
+    sweep = fig9.run(scale)
+    print(fig9.report(sweep))
+    return all(check.passed for check in fig9.check_shapes(sweep))
+
+
+def _run_overhead() -> bool:
+    result = overhead.run()
+    print(overhead.report(result))
+    return all(check.passed for check in overhead.check_shapes(result))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the AdapTBF paper's evaluation artefacts.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(set(FIGURE_EXPERIMENTS) | {"fig9", "overhead", "all"}),
+        help="which paper artefact to regenerate",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the paper-size configuration (default: 1/10 scale)",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="export the underlying data as CSV into DIR",
+    )
+    args = parser.parse_args(argv)
+    scale = full_scale() if args.full else bench_scale()
+
+    ok = True
+    if args.experiment == "all":
+        seen = []
+        for name, module in FIGURE_EXPERIMENTS.items():
+            if module in seen:
+                continue
+            seen.append(module)
+            ok &= _run_figure(module, name, scale, args.csv)
+            print()
+        ok &= _run_fig9(scale, args.csv)
+        print()
+        ok &= _run_overhead()
+    elif args.experiment == "fig9":
+        ok = _run_fig9(scale, args.csv)
+    elif args.experiment == "overhead":
+        ok = _run_overhead()
+    else:
+        module = FIGURE_EXPERIMENTS[args.experiment]
+        ok = _run_figure(module, args.experiment, scale, args.csv)
+
+    if not ok:
+        print("\nSOME SHAPE CHECKS FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,122 @@
+"""Shared plumbing for the per-figure experiment modules."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cluster.builder import ClusterConfig, Mechanism
+from repro.cluster.experiment import ExperimentResult, run_scenario
+from repro.metrics.summary import BandwidthSummary, gains_versus
+from repro.metrics.tables import format_gains, format_series, format_table
+from repro.workloads.scenarios import Scenario, ScenarioConfig
+
+__all__ = [
+    "bench_scale",
+    "full_scale",
+    "MechanismComparison",
+    "compare_mechanisms",
+]
+
+#: The three mechanisms of §IV-C, in presentation order.
+MECHANISMS = (Mechanism.NONE, Mechanism.STATIC, Mechanism.ADAPTBF)
+
+
+def full_scale() -> ScenarioConfig:
+    """The paper's configuration: 1 GiB files, 20/50/80 s delays."""
+    return ScenarioConfig(data_scale=1.0, time_scale=1.0)
+
+
+def bench_scale() -> ScenarioConfig:
+    """Reduced configuration for benches/tests (set ``REPRO_FULL=1`` to
+    run the paper-size configuration instead).
+
+    Scaling data and time by the same 1/10 keeps every burst's size
+    relative to its period — and hence the demand-to-capacity regime —
+    unchanged, while a full three-mechanism comparison runs in a few
+    wall-clock seconds.
+    """
+    if os.environ.get("REPRO_FULL"):
+        return full_scale()
+    return ScenarioConfig(data_scale=1 / 10, time_scale=1 / 10)
+
+
+@dataclass
+class MechanismComparison:
+    """Results of one scenario run under all three mechanisms."""
+
+    scenario: Scenario
+    results: Dict[str, ExperimentResult]  # keyed by Mechanism.value
+
+    @property
+    def none(self) -> ExperimentResult:
+        return self.results[Mechanism.NONE.value]
+
+    @property
+    def static(self) -> ExperimentResult:
+        return self.results[Mechanism.STATIC.value]
+
+    @property
+    def adaptbf(self) -> ExperimentResult:
+        return self.results[Mechanism.ADAPTBF.value]
+
+    @property
+    def job_ids(self) -> List[str]:
+        return [job.job_id for job in self.scenario.jobs]
+
+    # -- reporting -----------------------------------------------------------
+    def bandwidth_table(self, title: str) -> str:
+        """Fig. 4(a)/6(a)/8(a): achieved bandwidth per job and overall."""
+        headers = ["mechanism"] + self.job_ids + ["overall"]
+        rows = []
+        for mech, result in self.results.items():
+            summary: BandwidthSummary = result.summary
+            rows.append(
+                [mech]
+                + [summary.job(j) for j in self.job_ids]
+                + [summary.aggregate_mib_s]
+            )
+        return format_table(headers, rows, title=title)
+
+    def gains_table(self, versus: str, title: str) -> str:
+        """Fig. 4(b)/6(b)/8(b): AdapTBF gain/loss vs a baseline, percent."""
+        gains = gains_versus(self.adaptbf.summary, self.results[versus].summary)
+        return format_gains(gains, title=title)
+
+    def timeline_report(self, mechanism: str, resample_s: float = 1.0) -> str:
+        """Fig. 3/5-style per-job throughput series for one mechanism."""
+        result = self.results[mechanism]
+        blocks = [f"--- {mechanism}: per-job throughput timeline ---"]
+        horizon = result.duration_s
+        for job in self.job_ids:
+            times, values = result.timeline.series(job, until=horizon)
+            blocks.append(
+                format_series(f"{job}", times, values, resample_s=resample_s)
+            )
+        return "\n".join(blocks)
+
+
+def compare_mechanisms(
+    scenario: Scenario,
+    interval_s: float = 0.1,
+    capacity_mib_s: float = 1024.0,
+    overhead_s: float = 0.0,
+    variant: str = "full",
+    mechanisms=MECHANISMS,
+    bin_s: Optional[float] = None,
+) -> MechanismComparison:
+    """Run ``scenario`` under each mechanism with otherwise equal hardware."""
+    results: Dict[str, ExperimentResult] = {}
+    for mechanism in mechanisms:
+        config = ClusterConfig(
+            mechanism=mechanism,
+            capacity_mib_s=capacity_mib_s,
+            interval_s=interval_s,
+            overhead_s=overhead_s,
+            variant=variant,
+        )
+        results[mechanism.value] = run_scenario(
+            scenario, config, bin_s=bin_s if bin_s is not None else interval_s
+        )
+    return MechanismComparison(scenario=scenario, results=results)

@@ -1,0 +1,169 @@
+"""Lustre client process model.
+
+A :class:`ClientProcess` executes one *I/O program* — a generator produced by
+a workload pattern (:mod:`repro.workloads.patterns`) — against an OSS through
+the network.  The :class:`IoHandle` given to the program hides RPC mechanics:
+``write(nbytes)`` chops a region into RPC-sized chunks and keeps a bounded
+window of them in flight, which is how a real Lustre client's RPC engine
+pipelines bulk I/O (``max_rpcs_in_flight``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Callable, Generator, Optional
+
+from repro.lustre.network import Network
+from repro.lustre.oss import Oss
+from repro.lustre.rpc import Rpc, RpcKind
+from repro.lustre.striping import StripeLayout
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+    from repro.sim.process import Process
+
+__all__ = ["IoHandle", "ClientProcess", "DEFAULT_RPC_SIZE", "DEFAULT_WINDOW"]
+
+#: Default bulk RPC payload: 1 MiB, Lustre's typical max_pages_per_rpc worth.
+DEFAULT_RPC_SIZE = 1 << 20
+#: Default RPCs in flight per client process (Lustre max_rpcs_in_flight=8).
+DEFAULT_WINDOW = 8
+
+
+class IoHandle:
+    """The I/O surface a workload program uses.
+
+    Parameters
+    ----------
+    env, network, oss:
+        Plumbing to reach storage.
+    job_id:
+        JobID stamped on every RPC (the TBF classification key).
+    client_id:
+        Identifier of this client process.
+    rpc_size:
+        Bulk RPC payload in bytes.
+    window:
+        Maximum RPCs in flight for :meth:`write`.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        network: Network,
+        oss: Oss,
+        job_id: str,
+        client_id: str,
+        rpc_size: int = DEFAULT_RPC_SIZE,
+        window: int = DEFAULT_WINDOW,
+        layout: Optional[StripeLayout] = None,
+    ) -> None:
+        if rpc_size <= 0:
+            raise ValueError(f"rpc_size must be positive, got {rpc_size}")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.env = env
+        self.network = network
+        self.oss = oss
+        self.job_id = job_id
+        self.client_id = client_id
+        self.rpc_size = rpc_size
+        self.window = window
+        #: File layout; defaults to a single-OST layout on `oss` (Lustre's
+        #: default stripe_count=1).  The handle models one file, so a
+        #: monotone offset drives the chunk→OST mapping.
+        self.layout = layout or StripeLayout([oss], stripe_size=rpc_size)
+        self._offset = 0
+        self.rpcs_issued = 0
+        self.bytes_written = 0
+
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    def sleep(self, seconds: float):
+        """Event that fires after ``seconds`` (for program pacing)."""
+        return self.env.timeout(seconds)
+
+    def submit(self, nbytes: Optional[int] = None, kind: RpcKind = RpcKind.WRITE):
+        """Issue a single RPC at the current file offset.
+
+        Returns the client-side completion event.  The target OSS follows
+        the file's stripe layout; with the default single-OST layout every
+        RPC goes to ``self.oss``.
+        """
+        size = self.rpc_size if nbytes is None else nbytes
+        target = self.layout.target_for_offset(self._offset)
+        rpc = Rpc(
+            job_id=self.job_id,
+            client_id=self.client_id,
+            size_bytes=size,
+            kind=kind,
+        )
+        self.rpcs_issued += 1
+        self.bytes_written += size
+        self._offset += size
+        return self.network.submit(rpc, target)
+
+    def write(self, total_bytes: int, kind: RpcKind = RpcKind.WRITE) -> Generator:
+        """Write ``total_bytes`` as a pipelined stream of RPCs.
+
+        Keeps up to ``window`` RPCs outstanding; yields until every chunk has
+        completed.  Usage inside a program: ``yield from io.write(1 << 30)``.
+        """
+        if total_bytes <= 0:
+            raise ValueError(f"total_bytes must be positive, got {total_bytes}")
+        n_chunks = math.ceil(total_bytes / self.rpc_size)
+        remaining = total_bytes
+        in_flight = []
+        issued = 0
+        while issued < n_chunks or in_flight:
+            while issued < n_chunks and len(in_flight) < self.window:
+                size = min(self.rpc_size, remaining)
+                remaining -= size
+                in_flight.append(self.submit(size, kind=kind))
+                issued += 1
+            # Wait for the window to open (any completion frees a slot).
+            done = yield self.env.any_of(in_flight)
+            in_flight = [ev for ev in in_flight if ev not in done]
+
+
+class ClientProcess:
+    """One workload process on one client node.
+
+    Parameters
+    ----------
+    program:
+        A callable ``program(io) -> generator`` — typically the bound
+        ``program`` method of a workload pattern.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        network: Network,
+        oss: Oss,
+        job_id: str,
+        client_id: str,
+        program: Callable[[IoHandle], Generator],
+        rpc_size: int = DEFAULT_RPC_SIZE,
+        window: int = DEFAULT_WINDOW,
+        layout: Optional[StripeLayout] = None,
+    ) -> None:
+        self.io = IoHandle(
+            env,
+            network,
+            oss,
+            job_id=job_id,
+            client_id=client_id,
+            rpc_size=rpc_size,
+            window=window,
+            layout=layout,
+        )
+        self.process: "Process" = env.process(
+            program(self.io), name=f"{job_id}/{client_id}"
+        )
+
+    @property
+    def finished(self) -> bool:
+        return not self.process.is_alive

@@ -1,0 +1,121 @@
+"""Per-OST job statistics tracker (Lustre ``job_stats`` analogue).
+
+AdapTBF's System Stats Controller samples this tracker every observation
+period to learn (a) which jobs were *active* and (b) each job's I/O demand
+``d_x`` in RPCs (paper Eq. 3 context, §III-B).  After an allocation round the
+controller *clears* the tracker so the next period starts fresh, mirroring
+steps (1) and (9) of Fig. 2.
+
+Two counters are kept per job and period:
+
+* ``arrived`` — RPCs issued to the OST during the period;
+* ``served``  — RPCs whose service completed during the period (this is what
+  Lustre's real ``job_stats`` op counters reflect).
+
+The controller's demand signal is ``served + still-queued`` (see
+:mod:`repro.core.controller`), which equals ``backlog at period start +
+arrivals``: every RPC that *wanted* service this period counts exactly once,
+so a job whose requests are stuck waiting for tokens stays visibly active —
+counting pure arrivals would mark a fully-backlogged job idle, churn its rule
+and let its backlog drain unthrottled through the fallback queue (DESIGN.md
+deviation 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.lustre.rpc import Rpc
+
+__all__ = ["JobStatsTracker", "JobStatsSnapshot"]
+
+
+@dataclass(frozen=True)
+class JobStatsSnapshot:
+    """Immutable per-job counters for one observation period."""
+
+    job_id: str
+    arrived: int
+    served: int
+    bytes_arrived: int
+    bytes_served: int
+
+    def __post_init__(self) -> None:
+        if min(self.arrived, self.served, self.bytes_arrived, self.bytes_served) < 0:
+            raise ValueError("counters must be non-negative")
+
+
+class JobStatsTracker:
+    """Accumulates per-job counters between controller sweeps."""
+
+    def __init__(self) -> None:
+        self._arrived: Dict[str, int] = {}
+        self._served: Dict[str, int] = {}
+        self._bytes_arrived: Dict[str, int] = {}
+        self._bytes_served: Dict[str, int] = {}
+        # Lifetime counters survive clear(); useful for experiment totals
+        # and for the outstanding-RPC computation below.
+        self._lifetime_arrived: Dict[str, int] = {}
+        self._lifetime_served: Dict[str, int] = {}
+        self._lifetime_bytes: Dict[str, int] = {}
+
+    def record_arrival(self, rpc: Rpc) -> None:
+        """Count an RPC issued to this OST."""
+        job = rpc.job_id
+        self._arrived[job] = self._arrived.get(job, 0) + 1
+        self._bytes_arrived[job] = self._bytes_arrived.get(job, 0) + rpc.size_bytes
+        self._lifetime_arrived[job] = self._lifetime_arrived.get(job, 0) + 1
+        self._lifetime_bytes[job] = (
+            self._lifetime_bytes.get(job, 0) + rpc.size_bytes
+        )
+
+    def record_completion(self, rpc: Rpc) -> None:
+        """Count an RPC whose OST service finished."""
+        job = rpc.job_id
+        self._served[job] = self._served.get(job, 0) + 1
+        self._bytes_served[job] = self._bytes_served.get(job, 0) + rpc.size_bytes
+        self._lifetime_served[job] = self._lifetime_served.get(job, 0) + 1
+
+    def outstanding(self, job_id: str) -> int:
+        """RPCs issued but not yet served (queued in the NRS or in service)."""
+        return self._lifetime_arrived.get(job_id, 0) - self._lifetime_served.get(
+            job_id, 0
+        )
+
+    def snapshot(self) -> Dict[str, JobStatsSnapshot]:
+        """Per-job counters accumulated since the last :meth:`clear`."""
+        jobs = set(self._arrived) | set(self._served)
+        return {
+            job: JobStatsSnapshot(
+                job_id=job,
+                arrived=self._arrived.get(job, 0),
+                served=self._served.get(job, 0),
+                bytes_arrived=self._bytes_arrived.get(job, 0),
+                bytes_served=self._bytes_served.get(job, 0),
+            )
+            for job in jobs
+        }
+
+    def clear(self) -> None:
+        """Reset period counters (controller step 9 in Fig. 2)."""
+        self._arrived.clear()
+        self._served.clear()
+        self._bytes_arrived.clear()
+        self._bytes_served.clear()
+
+    # -- lifetime accounting ----------------------------------------------------
+    def lifetime_rpcs(self, job_id: str) -> int:
+        return self._lifetime_arrived.get(job_id, 0)
+
+    def lifetime_bytes(self, job_id: str) -> int:
+        return self._lifetime_bytes.get(job_id, 0)
+
+    def jobs_with_outstanding(self):
+        """Jobs that currently have issued-but-unserved RPCs."""
+        return [j for j in sorted(self._lifetime_arrived) if self.outstanding(j) > 0]
+
+    @property
+    def jobs_seen(self):
+        """All job ids ever observed on this OST."""
+        return sorted(self._lifetime_arrived)

@@ -1,0 +1,77 @@
+"""Client ↔ OSS network model.
+
+A deliberately thin model: RPCs experience a fixed one-way latency to the
+OSS, and completions are visible to the client after the same latency.  The
+paper's experiments are OST-bandwidth-bound (25 Gb NICs vs SATA SSDs), so
+network queueing is not the bottleneck; a fixed latency preserves pipelining
+behaviour (clients keep a window of RPCs in flight) without simulating the
+fabric.  Set ``latency_s=0`` for a zero-latency fabric.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.lustre.oss import Oss
+from repro.lustre.rpc import Rpc
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Fixed-latency request/response fabric.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    latency_s:
+        One-way delivery latency in seconds (default 100 µs, a typical
+        datacenter RTT/2).
+    """
+
+    def __init__(self, env: "Environment", latency_s: float = 100e-6) -> None:
+        if latency_s < 0:
+            raise ValueError(f"latency must be >= 0, got {latency_s}")
+        self.env = env
+        self.latency_s = float(latency_s)
+        self._rpcs_carried = 0
+
+    def submit(self, rpc: Rpc, oss: Oss) -> Event:
+        """Send ``rpc`` to ``oss``; returns the event the client awaits.
+
+        The returned event fires one network latency *after* the server-side
+        completion, modelling the reply message.
+        """
+        env = self.env
+        rpc.submitted = env.now
+        rpc.completion = Event(env)
+        self._rpcs_carried += 1
+
+        client_done = Event(env)
+
+        def deliver(_e) -> None:
+            oss.receive(rpc)
+
+        def reply(_e) -> None:
+            if self.latency_s:
+                env.timeout(self.latency_s).add_callback(
+                    lambda _t: client_done.succeed(rpc)
+                )
+            else:
+                client_done.succeed(rpc)
+
+        if self.latency_s:
+            env.timeout(self.latency_s).add_callback(deliver)
+        else:
+            deliver(None)
+        rpc.completion.add_callback(reply)
+        return client_done
+
+    @property
+    def rpcs_carried(self) -> int:
+        return self._rpcs_carried

@@ -1,0 +1,166 @@
+"""Object Storage Target: a processor-sharing bandwidth server.
+
+Models the OST disk as a fluid-flow resource: ``capacity_bps`` bytes/second
+split evenly across all in-flight transfers.  This is the standard fluid
+approximation for a saturated storage device and preserves the property the
+experiments depend on — aggregate service rate equals ``capacity_bps``
+whenever any work is queued, regardless of concurrency.
+
+The implementation is event-driven: transfer completions are pre-computed and
+re-computed whenever the set of active transfers changes.  Because the sim
+engine has no event cancellation, each re-computation bumps an *epoch*
+counter and stale completion checks simply no-op.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+__all__ = ["Ost"]
+
+_EPS_BYTES = 1e-6
+
+
+class Ost:
+    """One Object Storage Target with finite disk bandwidth.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    name:
+        Identifier (e.g. ``"OST0000"``), used in stats and diagnostics.
+    capacity_bps:
+        Disk bandwidth in bytes/second, shared by concurrent transfers.
+
+    Notes
+    -----
+    The maximum token rate ``T_i`` the paper assigns an OST (Table I) maps to
+    ``capacity_bps / rpc_size``: with 1 MiB RPCs, a 1 GiB/s OST supports
+    1024 tokens/s of sustained service.
+    """
+
+    def __init__(self, env: "Environment", name: str, capacity_bps: float) -> None:
+        if capacity_bps <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bps}")
+        self.env = env
+        self.name = name
+        self.capacity_bps = float(capacity_bps)
+        self._remaining: Dict[int, float] = {}  # transfer id -> bytes left
+        self._sizes: Dict[int, float] = {}  # transfer id -> original bytes
+        self._done_events: Dict[int, Event] = {}
+        self._ids = itertools.count()
+        self._last = env.now
+        self._epoch = 0
+        self._bytes_served = 0.0
+
+    # -- public API ---------------------------------------------------------
+    def transfer(self, nbytes: float) -> Event:
+        """Begin a transfer of ``nbytes``; returns its completion event."""
+        if nbytes <= 0:
+            raise ValueError(f"transfer size must be positive, got {nbytes}")
+        self._advance(self.env.now)
+        tid = next(self._ids)
+        self._remaining[tid] = float(nbytes)
+        self._sizes[tid] = float(nbytes)
+        done = Event(self.env)
+        self._done_events[tid] = done
+        self._reschedule()
+        return done
+
+    def set_capacity(self, capacity_bps: float) -> None:
+        """Change the disk bandwidth at runtime.
+
+        Models degraded media / RAID rebuild / contention from scrubbing:
+        in-flight transfers finish at the new rate from this instant.  The
+        AdapTBF controller does not observe capacity directly — it keeps
+        allocating ``T_i`` tokens — so this is the failure-injection hook
+        for testing behaviour when tokens outrun the disk.
+        """
+        if capacity_bps <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bps}")
+        self._advance(self.env.now)
+        self.capacity_bps = float(capacity_bps)
+        self._reschedule()
+
+    @property
+    def active_transfers(self) -> int:
+        """Number of in-flight transfers."""
+        return len(self._remaining)
+
+    @property
+    def bytes_served(self) -> float:
+        """Total bytes completed so far (for utilization accounting)."""
+        return self._bytes_served
+
+    def utilization(self, since: float, until: Optional[float] = None) -> float:
+        """Fraction of capacity used over ``[since, until]``.
+
+        A convenience for experiment summaries; relies on
+        :attr:`bytes_served` having been sampled at ``since`` by the caller.
+        """
+        until = self.env.now if until is None else until
+        span = until - since
+        if span <= 0:
+            return 0.0
+        return self._bytes_served / (self.capacity_bps * span)
+
+    # -- fluid-flow mechanics ---------------------------------------------------
+    def _advance(self, now: float) -> None:
+        """Drain work proportionally over the elapsed interval."""
+        elapsed = now - self._last
+        self._last = now
+        if elapsed <= 0 or not self._remaining:
+            return
+        share = self.capacity_bps * elapsed / len(self._remaining)
+        for tid in self._remaining:
+            self._remaining[tid] -= share
+
+    def _reschedule(self) -> None:
+        """Schedule a completion check for the next transfer to finish."""
+        self._epoch += 1
+        if not self._remaining:
+            return
+        min_left = min(self._remaining.values())
+        per_flow = self.capacity_bps / len(self._remaining)
+        delay = max(0.0, min_left) / per_flow
+        epoch = self._epoch
+        self.env.timeout(delay).add_callback(lambda _e: self._on_check(epoch))
+
+    def _on_check(self, epoch: int) -> None:
+        if epoch != self._epoch:
+            return  # superseded by a later add/complete
+        now = self.env.now
+        self._advance(now)
+        finished = [
+            tid for tid, left in self._remaining.items() if left <= _EPS_BYTES
+        ]
+        # Floating-point guard: the scheduled check targets the minimum, so
+        # at least one transfer must be complete.
+        if not finished:
+            nearest = min(self._remaining.values())
+            assert nearest <= 1e-3, f"completion check fired early ({nearest} B left)"
+            finished = [
+                tid
+                for tid, left in self._remaining.items()
+                if math.isclose(left, nearest, abs_tol=1e-3)
+            ]
+        for tid in finished:
+            self._remaining.pop(tid)
+            self._bytes_served += self._sizes.pop(tid)
+            done = self._done_events.pop(tid)
+            done.succeed(now)
+        self._reschedule()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Ost {self.name} cap={self.capacity_bps:.0f}B/s "
+            f"active={len(self._remaining)}>"
+        )

@@ -1,0 +1,280 @@
+"""Classful Token Bucket Filter scheduler (Lustre NRS-TBF).
+
+Implements the mechanism of paper §II-A / Fig. 1:
+
+* **Rules** map a JobID to a token rate; they form an ordered set that can be
+  started, stopped and re-rated at runtime (`nrs_tbf_rule` in real Lustre).
+* **Queues** hold the RPCs of one rule, drained FCFS; each queue owns a
+  :class:`~repro.lustre.bucket.TokenBucket` and is only eligible for dequeue
+  when a token is available.
+* A **deadline heap** orders queues by the time their next token matures, so
+  the scheduler always serves the queue with the nearest deadline; equal
+  deadlines are broken by rule *rank* (the paper's rule hierarchy — higher
+  priority jobs first).
+* RPCs that match no rule land in the **fallback queue**, served
+  opportunistically (no token limit) whenever no token-backed queue is ready
+  — exactly the starvation-avoidance property §III-D relies on when the Rule
+  Management Daemon stops rules for inactive jobs.
+
+Stopping a rule re-files its queued RPCs into the fallback queue (preserving
+FIFO order), so no request is ever lost to rule churn.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.lustre.bucket import TokenBucket
+from repro.lustre.rpc import Rpc
+
+__all__ = ["TbfRule", "TbfScheduler", "DEFAULT_BUCKET_DEPTH"]
+
+#: Lustre's default TBF bucket depth (paper §II-A: "e.g., 3 tokens by default").
+DEFAULT_BUCKET_DEPTH = 3.0
+
+
+@dataclass
+class TbfRule:
+    """One TBF rule: JobID → token rate.
+
+    Parameters
+    ----------
+    name:
+        Rule name, unique within a scheduler (Lustre rule identifier).
+    job_id:
+        Exact JobID this rule classifies.  AdapTBF uses JobID classification
+        (§III-D), so exact match is all the reproduction needs; a fallback
+        queue covers everything else.
+    rate:
+        Token rate in tokens/second (1 token = 1 RPC).
+    depth:
+        Bucket depth (burst allowance).
+    rank:
+        Hierarchy position; *lower rank wins ties* when two queues' deadlines
+        coincide.  The rule daemon sets rank from job priority.
+    """
+
+    name: str
+    job_id: str
+    rate: float
+    depth: float = DEFAULT_BUCKET_DEPTH
+    rank: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError(f"rule rate must be >= 0, got {self.rate}")
+        if self.depth <= 0:
+            raise ValueError(f"rule depth must be > 0, got {self.depth}")
+
+
+@dataclass
+class _TbfQueue:
+    """Internal per-rule queue state."""
+
+    rule: TbfRule
+    bucket: TokenBucket
+    items: Deque[Rpc] = field(default_factory=deque)
+    #: Version counter; heap entries carry the version they were pushed with
+    #: so stale entries (rate changed, queue drained) can be skipped lazily.
+    version: int = 0
+
+
+class TbfScheduler:
+    """The classful TBF request scheduler for one OST.
+
+    All methods take explicit ``now`` timestamps instead of holding an
+    environment reference, which keeps the scheduler a pure data structure —
+    trivially unit-testable and reusable outside the simulator.
+    """
+
+    def __init__(self) -> None:
+        self._rules: Dict[str, TbfRule] = {}  # by rule name
+        self._by_job: Dict[str, _TbfQueue] = {}  # by job id
+        self._fallback: Deque[Rpc] = deque()
+        # Heap of (deadline, rank, seq, job_id, version).
+        self._heap: List[Tuple[float, int, int, str, int]] = []
+        self._seq = itertools.count()
+        self._served_with_token = 0
+        self._served_fallback = 0
+
+    # -- rule management (the Rule Management Daemon's surface) -------------
+    def start_rule(self, now: float, rule: TbfRule) -> None:
+        """Install ``rule``; its queue starts with a full bucket.
+
+        Any RPCs of this job currently waiting in the fallback queue are
+        *not* migrated — like Lustre, classification happens at enqueue time.
+        """
+        if rule.name in self._rules:
+            raise ValueError(f"rule {rule.name!r} already exists")
+        if rule.job_id in self._by_job:
+            raise ValueError(f"job {rule.job_id!r} already has a rule")
+        self._rules[rule.name] = rule
+        self._by_job[rule.job_id] = _TbfQueue(
+            rule=rule,
+            bucket=TokenBucket(rule.rate, depth=rule.depth, now=now),
+        )
+
+    def stop_rule(self, now: float, name: str) -> int:
+        """Remove rule ``name``; queued RPCs drain through fallback.
+
+        Returns the number of RPCs re-filed to the fallback queue.
+        """
+        rule = self._rules.pop(name, None)
+        if rule is None:
+            raise KeyError(f"no rule named {name!r}")
+        queue = self._by_job.pop(rule.job_id)
+        queue.version += 1  # invalidate heap entries
+        moved = len(queue.items)
+        self._fallback.extend(queue.items)
+        queue.items.clear()
+        return moved
+
+    def change_rate(
+        self, now: float, name: str, rate: float, rank: Optional[int] = None
+    ) -> None:
+        """Re-rate (and optionally re-rank) an existing rule in place.
+
+        Accrued tokens survive the change; only the slope is updated, which
+        is how Lustre applies ``rate=`` changes to live rules.
+        """
+        rule = self._rules.get(name)
+        if rule is None:
+            raise KeyError(f"no rule named {name!r}")
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        rule.rate = float(rate)
+        if rank is not None:
+            rule.rank = rank
+        queue = self._by_job[rule.job_id]
+        queue.bucket.set_rate(now, rate)
+        if queue.items:
+            self._push(now, rule.job_id, queue)
+
+    def rule_names(self) -> List[str]:
+        """Names of currently installed rules."""
+        return sorted(self._rules)
+
+    def get_rule(self, name: str) -> TbfRule:
+        return self._rules[name]
+
+    def has_rule_for_job(self, job_id: str) -> bool:
+        return job_id in self._by_job
+
+    # -- request path -----------------------------------------------------------
+    def enqueue(self, now: float, rpc: Rpc) -> None:
+        """Classify and queue an arriving RPC."""
+        queue = self._by_job.get(rpc.job_id)
+        if queue is None:
+            self._fallback.append(rpc)
+            return
+        queue.items.append(rpc)
+        if len(queue.items) == 1:
+            self._push(now, rpc.job_id, queue)
+
+    def dequeue(self, now: float) -> Optional[Rpc]:
+        """Return the next serviceable RPC at ``now``, or None.
+
+        Token-backed queues with matured deadlines win (earliest deadline,
+        then rank); otherwise the fallback queue is served opportunistically;
+        otherwise nothing is ready.
+        """
+        while self._heap:
+            deadline, _rank, _seq, job_id, version = self._heap[0]
+            queue = self._by_job.get(job_id)
+            if queue is None or version != queue.version or not queue.items:
+                heapq.heappop(self._heap)  # stale entry
+                continue
+            # Refresh the deadline: the bucket may have been re-rated since
+            # this entry was pushed (same version ⇒ entry's deadline is
+            # current, but recomputing is cheap and defensive).
+            actual = queue.bucket.ready_at(now)
+            if actual > deadline + 1e-12:
+                heapq.heappop(self._heap)
+                self._push(now, job_id, queue, deadline=actual)
+                continue
+            if actual <= now:
+                heapq.heappop(self._heap)
+                consumed = queue.bucket.try_consume(now)
+                assert consumed, "deadline matured but token missing"
+                rpc = queue.items.popleft()
+                if queue.items:
+                    self._push(now, job_id, queue)
+                self._served_with_token += 1
+                return rpc
+            break  # nearest deadline is in the future
+
+        if self._fallback:
+            self._served_fallback += 1
+            rpc = self._fallback.popleft()
+            rpc.via_fallback = True
+            return rpc
+        return None
+
+    def next_wake(self, now: float) -> float:
+        """Earliest future time a dequeue could succeed; ``inf`` if never.
+
+        Only meaningful after :meth:`dequeue` returned None (i.e. no queue is
+        currently ready and the fallback queue is empty).
+        """
+        while self._heap:
+            deadline, _rank, _seq, job_id, version = self._heap[0]
+            queue = self._by_job.get(job_id)
+            if queue is None or version != queue.version or not queue.items:
+                heapq.heappop(self._heap)
+                continue
+            actual = queue.bucket.ready_at(now)
+            if actual > deadline + 1e-12:
+                heapq.heappop(self._heap)
+                self._push(now, job_id, queue, deadline=actual)
+                continue
+            return max(actual, now)
+        return math.inf
+
+    # -- introspection ----------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Total RPCs currently queued (all rule queues + fallback)."""
+        return sum(len(q.items) for q in self._by_job.values()) + len(self._fallback)
+
+    def pending_for_job(self, job_id: str) -> int:
+        queue = self._by_job.get(job_id)
+        in_rule = len(queue.items) if queue else 0
+        in_fallback = sum(1 for r in self._fallback if r.job_id == job_id)
+        return in_rule + in_fallback
+
+    @property
+    def fallback_depth(self) -> int:
+        return len(self._fallback)
+
+    @property
+    def served_with_token(self) -> int:
+        return self._served_with_token
+
+    @property
+    def served_fallback(self) -> int:
+        return self._served_fallback
+
+    # -- internals -----------------------------------------------------------------
+    def _push(
+        self,
+        now: float,
+        job_id: str,
+        queue: _TbfQueue,
+        deadline: Optional[float] = None,
+    ) -> None:
+        queue.version += 1
+        if deadline is None:
+            deadline = queue.bucket.ready_at(now)
+        if math.isinf(deadline):
+            # Rate 0 with an empty bucket: the queue is blocked until a rate
+            # change re-pushes it; keep it off the heap entirely.
+            return
+        heapq.heappush(
+            self._heap,
+            (deadline, queue.rule.rank, next(self._seq), job_id, queue.version),
+        )

@@ -1,0 +1,22 @@
+"""Measurement and reporting utilities.
+
+* :mod:`repro.metrics.timeline` — per-job throughput binned at the paper's
+  100 ms observation granularity (the Fig. 3/5 series);
+* :mod:`repro.metrics.summary` — per-job and aggregate achieved bandwidth
+  plus gain/loss percentages versus a baseline (the Fig. 4/6/8 bars);
+* :mod:`repro.metrics.tables` — plain-text tables and series renderings used
+  by the benchmark harness to print the rows the paper reports.
+"""
+
+from repro.metrics.summary import BandwidthSummary, gains_versus, summarize
+from repro.metrics.tables import format_series, format_table
+from repro.metrics.timeline import Timeline
+
+__all__ = [
+    "BandwidthSummary",
+    "Timeline",
+    "format_series",
+    "format_table",
+    "gains_versus",
+    "summarize",
+]

@@ -1,0 +1,164 @@
+"""The discrete-event simulation core.
+
+:class:`Environment` owns the virtual clock and the event heap.  Time only
+advances when :meth:`Environment.step` pops the next scheduled event; between
+events the simulated world is frozen, which is what lets us reproduce the
+paper's 100 ms control loop with perfect determinism.
+
+Scheduling order is a total order over ``(time, priority, sequence)`` so two
+events at the same instant are processed in FIFO creation order unless a
+priority says otherwise — the same tiebreak real Lustre gets implicitly from
+its work queues.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from repro.sim.events import Event, Timeout
+from repro.sim.process import Process
+
+__all__ = ["Environment", "SimulationError", "PRIORITY_URGENT", "PRIORITY_NORMAL"]
+
+#: Priority for engine-internal wakeups that must precede user events.
+PRIORITY_URGENT = 0
+#: Default priority for ordinary events.
+PRIORITY_NORMAL = 1
+
+
+class SimulationError(RuntimeError):
+    """Raised for engine misuse (e.g. running a finished simulation)."""
+
+
+class Environment:
+    """Execution environment for a single simulation run.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulated clock, in seconds.
+
+    Notes
+    -----
+    All component models in this repository (clients, NRS, OSTs, the AdapTBF
+    controller) take an ``Environment`` as their first constructor argument
+    and interact exclusively through it, which keeps every experiment
+    single-threaded and bit-for-bit reproducible for a given seed.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered :class:`Event` bound to this env."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Spawn ``generator`` as a simulation process and return its handle."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        from repro.sim.events import AnyOf
+
+        return AnyOf(self, list(events))
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        from repro.sim.events import AllOf
+
+        return AllOf(self, list(events))
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(
+        self, event: Event, delay: float = 0.0, priority: int = PRIORITY_NORMAL
+    ) -> None:
+        """Place a triggered event on the heap ``delay`` seconds from now."""
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event, advancing the clock to its time."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _prio, _eid, event = heapq.heappop(self._queue)
+        # The heap is append-only; time never moves backwards.
+        assert when >= self._now, "event scheduled in the past"
+        self._now = when
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # A failure nobody handled: surface it rather than losing it.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until ``until`` (a time or an event) or until no events remain.
+
+        Returns the value of ``until`` when it is an event; otherwise ``None``.
+        """
+        stop_at: Optional[float] = None
+        stop_event: Optional[Event] = None
+
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event.value
+        else:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise SimulationError(
+                    f"run(until={stop_at}) is in the past (now={self._now})"
+                )
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                break
+            if stop_at is not None and self.peek() > stop_at:
+                self._now = stop_at
+                break
+            self.step()
+        else:
+            # Queue drained: settle the clock on the horizon if one was given.
+            if stop_at is not None:
+                self._now = stop_at
+
+        if stop_event is not None:
+            if not stop_event.processed:
+                raise SimulationError(
+                    "run() ran out of events before the condition triggered"
+                )
+            if not stop_event.ok:
+                raise stop_event.value
+            return stop_event.value
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Environment now={self._now!r} pending={len(self._queue)}>"

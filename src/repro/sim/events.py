@@ -1,0 +1,251 @@
+"""Event primitives for the discrete-event engine.
+
+An :class:`Event` is a one-shot occurrence with an optional value.  Processes
+(:mod:`repro.sim.process`) wait on events by ``yield``-ing them; arbitrary
+callbacks may also be attached, which is how the engine itself wires process
+resumption.
+
+Events move through three states:
+
+``pending``    created but not yet triggered; callbacks may be added.
+``triggered``  scheduled on the environment's event heap with a value.
+``processed``  callbacks have run; the value is final.
+
+The separation of *triggered* and *processed* matters for determinism: a
+callback added after triggering but before processing still runs, while adding
+one after processing raises, surfacing ordering bugs instead of silently
+dropping wakeups.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.engine import Environment
+
+__all__ = ["Event", "Timeout", "Interrupt", "AnyOf", "AllOf", "ConditionValue"]
+
+#: Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` is whatever the interrupter supplied, typically a short
+    string or an exception describing why the victim should stop waiting.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """A one-shot occurrence processes can wait for.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.  Events are bound to exactly one environment and
+        may only be triggered once.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: Callbacks invoked (in insertion order) when the event is processed.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been given a value (success or failure)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once all callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (only meaningful once triggered)."""
+        if not self.triggered:
+            raise RuntimeError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or the exception when it failed)."""
+        if self._value is _PENDING:
+            raise RuntimeError("event not yet triggered")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters receive ``exception``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() expects an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def defused(self) -> None:
+        """Mark a failure as handled so the engine does not re-raise it."""
+        self._defused = True
+
+    # -- callback plumbing -------------------------------------------------
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Attach ``callback``; it runs when the event is processed."""
+        if self.callbacks is None:
+            raise RuntimeError(f"{self!r} already processed")
+        self.callbacks.append(callback)
+
+    def remove_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Detach a previously added callback (no-op if already processed)."""
+        if self.callbacks is not None and callback in self.callbacks:
+            self.callbacks.remove(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = (
+            "processed"
+            if self.processed
+            else "triggered"
+            if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation.
+
+    Unlike a plain :class:`Event`, a timeout is triggered immediately on
+    construction — the delay is encoded in its scheduled time.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = float(delay)
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=self.delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Timeout delay={self.delay!r}>"
+
+
+class ConditionValue:
+    """Ordered mapping of events to values produced by :class:`AnyOf`/:class:`AllOf`.
+
+    Preserves the order in which the component events were passed, which makes
+    test assertions deterministic.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def __getitem__(self, event: Event) -> Any:
+        if event not in self.events:
+            raise KeyError(event)
+        return event._value
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def todict(self) -> dict:
+        return {event: event._value for event in self.events}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class _Condition(Event):
+    """Base for composite events over a fixed set of component events."""
+
+    __slots__ = ("_events", "_outstanding")
+
+    def __init__(self, env: "Environment", events: Sequence[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._outstanding = 0
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("all events must belong to the same environment")
+
+        if not self._events:
+            self.succeed(self._collect())
+            return
+
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            else:
+                event.add_callback(self._check)
+
+    def _collect(self) -> ConditionValue:
+        # Keyed on *processed*, not *triggered*: a Timeout is triggered at
+        # creation but its value only becomes observable once delivered.
+        value = ConditionValue()
+        for event in self._events:
+            if event.processed and event._ok:
+                value.events.append(event)
+        return value
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defused()
+            self.fail(event._value)
+        elif self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Triggered when *any* component event succeeds (or one fails)."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return any(e.processed and e._ok for e in self._events)
+
+
+class AllOf(_Condition):
+    """Triggered when *all* component events have succeeded (or one fails)."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return all(e.processed and e._ok for e in self._events)

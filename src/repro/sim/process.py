@@ -1,0 +1,149 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` drives a Python generator: each ``yield`` hands the engine
+an :class:`~repro.sim.events.Event` to wait on; when that event is processed
+the generator is resumed with the event's value (or the event's exception is
+thrown into it).  A process is itself an event that triggers when the
+generator returns, so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.events import Event, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A running simulation process.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    generator:
+        The process body.  Must be a generator (i.e. contain ``yield``).
+    name:
+        Optional label used in diagnostics.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator,
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"process body must be a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: Event this process is currently waiting on (None once finished).
+        self._target: Optional[Event] = None
+
+        # Kick the process off via an immediately-triggered bootstrap event.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap._ok = True
+        bootstrap._value = None
+        env._schedule(bootstrap, priority=0)
+        self._target = bootstrap
+
+    # -- public API ---------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently suspended on."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process raises ``RuntimeError``; interrupting
+        a process that is about to be resumed is handled gracefully (the
+        interrupt wins).
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has terminated; cannot interrupt")
+
+        # Deliver asynchronously so the interrupter's own execution finishes
+        # first — mirrors signal semantics and keeps ordering deterministic.
+        wakeup = Event(self.env)
+        wakeup._ok = False
+        wakeup._value = Interrupt(cause)
+        wakeup._defused = True
+        wakeup.callbacks.append(self._resume)
+        self.env._schedule(wakeup, priority=0)
+
+        # Detach from whatever we were waiting on so the original event's
+        # later arrival does not resume us twice.
+        if self._target is not None and self._target.callbacks is not None:
+            self._target.remove_callback(self._resume)
+        self._target = None
+
+    # -- engine plumbing ------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        try:
+            while True:
+                if event._ok:
+                    try:
+                        next_target = self._generator.send(event._value)
+                    except StopIteration as stop:
+                        self._finish(value=stop.value)
+                        return
+                    except BaseException as exc:
+                        self._finish(error=exc)
+                        return
+                else:
+                    # The awaited event failed: raise inside the process.
+                    event.defused()
+                    try:
+                        next_target = self._generator.throw(event._value)
+                    except StopIteration as stop:
+                        self._finish(value=stop.value)
+                        return
+                    except BaseException as exc:
+                        self._finish(error=exc)
+                        return
+
+                if not isinstance(next_target, Event):
+                    error = TypeError(
+                        f"process {self.name!r} yielded {next_target!r}; "
+                        "expected an Event"
+                    )
+                    self._finish(error=error)
+                    return
+                if next_target.processed:
+                    # Already done: loop immediately with its outcome.
+                    event = next_target
+                    continue
+                next_target.add_callback(self._resume)
+                self._target = next_target
+                return
+        finally:
+            self.env._active_process = None
+
+    def _finish(
+        self, value: Any = None, error: Optional[BaseException] = None
+    ) -> None:
+        self._target = None
+        if error is not None:
+            self.fail(error)
+        else:
+            self.succeed(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "finished" if self.triggered else "alive"
+        return f"<Process {self.name!r} {state}>"

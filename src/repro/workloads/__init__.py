@@ -1,0 +1,43 @@
+"""Synthetic workloads modelled after the paper's Filebench personalities.
+
+The paper drives every experiment with Filebench [36] jobs that combine three
+I/O shapes; :mod:`repro.workloads.patterns` provides each as a *pattern*
+object whose ``program(io)`` generator runs on a simulated client:
+
+* file-per-process **sequential** streams (the 16-process writers),
+* periodic short **bursts** of varying volume and interval,
+* **delayed continuous** streams that switch on mid-experiment.
+
+:mod:`repro.workloads.spec` defines the job/process description consumed by
+the cluster builder, and :mod:`repro.workloads.scenarios` encodes the three
+evaluation scenarios of §IV-D/E/F exactly (priorities, process counts, burst
+interleavings, 20/50/80 s delays) with scale knobs so benches run in seconds
+while the full-size paper configuration remains one flag away.
+"""
+
+from repro.workloads.patterns import (
+    BurstPattern,
+    DelayedContinuousPattern,
+    Pattern,
+    SequentialWritePattern,
+)
+from repro.workloads.scenarios import (
+    ScenarioConfig,
+    scenario_allocation,
+    scenario_recompensation,
+    scenario_redistribution,
+)
+from repro.workloads.spec import JobSpec, ProcessSpec
+
+__all__ = [
+    "BurstPattern",
+    "DelayedContinuousPattern",
+    "JobSpec",
+    "Pattern",
+    "ProcessSpec",
+    "ScenarioConfig",
+    "SequentialWritePattern",
+    "scenario_allocation",
+    "scenario_recompensation",
+    "scenario_redistribution",
+]

@@ -1,0 +1,144 @@
+"""I/O pattern primitives.
+
+A pattern is a small immutable object describing *what one client process
+does*; its :meth:`~Pattern.program` method returns the generator the client
+executes.  Patterns compose into :class:`~repro.workloads.spec.ProcessSpec`
+entries, one per Filebench-style process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.lustre.client import IoHandle
+
+__all__ = [
+    "Pattern",
+    "SequentialWritePattern",
+    "BurstPattern",
+    "DelayedContinuousPattern",
+]
+
+
+class Pattern:
+    """Base class for I/O patterns (duck-typed: only ``program`` matters)."""
+
+    def program(self, io: IoHandle) -> Generator:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def total_bytes_hint(self) -> Optional[int]:
+        """Upper bound on bytes this pattern writes, if statically known."""
+        return None
+
+
+@dataclass(frozen=True)
+class SequentialWritePattern(Pattern):
+    """File-per-process sequential write of ``total_bytes``.
+
+    The paper's 16-process jobs each write a private 1 GiB file this way.
+    An optional ``start_delay_s`` staggers process start.
+    """
+
+    total_bytes: int
+    start_delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.total_bytes <= 0:
+            raise ValueError(f"total_bytes must be positive, got {self.total_bytes}")
+        if self.start_delay_s < 0:
+            raise ValueError(f"start_delay_s must be >= 0, got {self.start_delay_s}")
+
+    def total_bytes_hint(self) -> int:
+        return self.total_bytes
+
+    def program(self, io: IoHandle) -> Generator:
+        if self.start_delay_s:
+            yield io.sleep(self.start_delay_s)
+        yield from io.write(self.total_bytes)
+
+
+@dataclass(frozen=True)
+class BurstPattern(Pattern):
+    """Periodic short I/O bursts (§IV-E/F job shape).
+
+    The process writes a ``burst_bytes`` chunk sequentially, idles, writes
+    the next chunk, … for ``count`` bursts.  ``start_delay_s`` offsets the
+    first burst so several jobs' bursts interleave on the server, as the
+    paper arranges.
+
+    Two pacing modes:
+
+    ``"gap"`` (default)
+        sleep ``interval_s`` *after each burst completes* — the
+        write-then-sleep loop a Filebench personality executes.  Faster
+        burst service directly shortens the job, which is how the paper's
+        Fig. 6/8 bandwidth gains for bursty jobs arise.
+    ``"cadence"``
+        start bursts at a fixed period of ``interval_s`` regardless of
+        service time (a hard-real-time producer); a burst that overruns
+        delays subsequent ones (back-pressure).
+    """
+
+    burst_bytes: int
+    interval_s: float
+    count: int
+    start_delay_s: float = 0.0
+    pace: str = "gap"
+
+    def __post_init__(self) -> None:
+        if self.burst_bytes <= 0:
+            raise ValueError(f"burst_bytes must be positive, got {self.burst_bytes}")
+        if self.interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {self.interval_s}")
+        if self.count <= 0:
+            raise ValueError(f"count must be positive, got {self.count}")
+        if self.start_delay_s < 0:
+            raise ValueError(f"start_delay_s must be >= 0, got {self.start_delay_s}")
+        if self.pace not in ("gap", "cadence"):
+            raise ValueError(f"pace must be 'gap' or 'cadence', got {self.pace!r}")
+
+    def total_bytes_hint(self) -> int:
+        return self.burst_bytes * self.count
+
+    def program(self, io: IoHandle) -> Generator:
+        if self.start_delay_s:
+            yield io.sleep(self.start_delay_s)
+        for i in range(self.count):
+            burst_started = io.now
+            yield from io.write(self.burst_bytes)
+            if i == self.count - 1:
+                break
+            if self.pace == "gap":
+                yield io.sleep(self.interval_s)
+            else:  # cadence
+                next_start = burst_started + self.interval_s
+                if next_start > io.now:
+                    yield io.sleep(next_start - io.now)
+
+
+@dataclass(frozen=True)
+class DelayedContinuousPattern(Pattern):
+    """Continuous sequential stream that switches on after ``delay_s``.
+
+    This is the §IV-F trigger: jobs 1–3 each have one process that starts
+    issuing continuous I/O 20/50/80 s into the run, flipping them from
+    lenders into claimants.
+    """
+
+    delay_s: float
+    total_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
+        if self.total_bytes <= 0:
+            raise ValueError(f"total_bytes must be positive, got {self.total_bytes}")
+
+    def total_bytes_hint(self) -> int:
+        return self.total_bytes
+
+    def program(self, io: IoHandle) -> Generator:
+        if self.delay_s:
+            yield io.sleep(self.delay_s)
+        yield from io.write(self.total_bytes)

@@ -1,0 +1,178 @@
+"""Property-based tests (hypothesis) for the allocation algorithm invariants.
+
+These pin the structural guarantees DESIGN.md §6 lists: exact token
+conservation, ledger zero-sum, the per-job ``α + r`` exchange invariant, and
+bounded remainders — across arbitrary multi-round demand histories.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import TokenAllocationAlgorithm
+from repro.core.types import AllocationInput
+
+JOBS = ["j0", "j1", "j2", "j3", "j4"]
+NODES = {"j0": 1, "j1": 2, "j2": 4, "j3": 8, "j4": 16}
+
+
+def round_strategy():
+    """One round: a non-empty subset of jobs with positive demands."""
+    return st.dictionaries(
+        keys=st.sampled_from(JOBS),
+        values=st.integers(min_value=1, max_value=2000),
+        min_size=1,
+        max_size=len(JOBS),
+    )
+
+
+history_strategy = st.lists(round_strategy(), min_size=1, max_size=12)
+
+variant_strategy = st.sampled_from(
+    [
+        dict(),
+        dict(enable_redistribution=False, enable_recompensation=False),
+        dict(enable_recompensation=False),
+        dict(df_priority_aware=False),
+    ]
+)
+
+
+def run_history(history, **algo_kwargs):
+    algo = TokenAllocationAlgorithm(**algo_kwargs)
+    results = []
+    for demands in history:
+        results.append(
+            algo.allocate(
+                AllocationInput(
+                    interval_s=0.1,
+                    max_token_rate=1000.0,
+                    demands=demands,
+                    nodes=NODES,
+                )
+            )
+        )
+    return algo, results
+
+
+@given(history=history_strategy, kwargs=variant_strategy)
+@settings(max_examples=150, deadline=None)
+def test_token_conservation(history, kwargs):
+    """Every round distributes exactly the interval budget."""
+    _, results = run_history(history, **kwargs)
+    for result in results:
+        assert sum(result.allocations.values()) == result.total_tokens
+
+
+@given(history=history_strategy, kwargs=variant_strategy)
+@settings(max_examples=150, deadline=None)
+def test_ledger_zero_sum(history, kwargs):
+    """Lending and borrowing balance globally at all times."""
+    algo = TokenAllocationAlgorithm(**kwargs)
+    for demands in history:
+        algo.allocate(
+            AllocationInput(
+                interval_s=0.1,
+                max_token_rate=1000.0,
+                demands=demands,
+                nodes=NODES,
+            )
+        )
+        assert algo.records.total() == 0
+
+
+@given(history=history_strategy)
+@settings(max_examples=150, deadline=None)
+def test_exchange_invariant_per_job(history):
+    """α + r is conserved through steps 2-3 (tokens only ever *move*)."""
+    _, results = run_history(history)
+    for result in results:
+        for job_alloc in result.per_job.values():
+            before = job_alloc.initial + job_alloc.record_before
+            after = job_alloc.final + job_alloc.record_after
+            assert before == after, job_alloc
+
+
+@given(history=history_strategy, kwargs=variant_strategy)
+@settings(max_examples=150, deadline=None)
+def test_allocations_non_negative(history, kwargs):
+    _, results = run_history(history, **kwargs)
+    for result in results:
+        for job, tokens in result.allocations.items():
+            assert tokens >= 0, (job, tokens)
+
+
+@given(history=history_strategy)
+@settings(max_examples=150, deadline=None)
+def test_remainders_bounded(history):
+    """Remainders stay in a small band around zero (no token leakage)."""
+    algo, _ = run_history(history)
+    for job, rho in algo.remainders.snapshot().items():
+        assert -2.0 < rho < 2.0, (job, rho)
+
+
+@given(history=history_strategy)
+@settings(max_examples=150, deadline=None)
+def test_reclaim_bounded_by_debt_and_allocation(history):
+    """Reclaim ≤ the borrower's debt *at reclaim time* (r after step 2).
+
+    Bounding by the post-redistribution record is what guarantees the
+    paper's "not overcompensated" property: a borrower's record can never
+    flip positive within a round (asserted below).
+    """
+    _, results = run_history(history)
+    for result in results:
+        for job_alloc in result.per_job.values():
+            record_rd = (
+                job_alloc.record_before
+                + job_alloc.surplus
+                - job_alloc.redistribution_share
+            )
+            assert job_alloc.reclaimed <= max(0, -record_rd)
+            assert job_alloc.reclaimed <= job_alloc.after_redistribution
+            if job_alloc.reclaimed > 0:
+                assert job_alloc.record_after <= 0  # no sign flip
+
+
+@given(history=history_strategy)
+@settings(max_examples=150, deadline=None)
+def test_surplus_never_exceeds_initial(history):
+    """A job can only lend tokens it was actually allocated."""
+    _, results = run_history(history)
+    for result in results:
+        for job_alloc in result.per_job.values():
+            assert 0 <= job_alloc.surplus <= job_alloc.initial
+
+
+@given(history=history_strategy)
+@settings(max_examples=100, deadline=None)
+def test_deterministic_given_same_history(history):
+    """Two allocators fed identical histories agree exactly."""
+    _, results_a = run_history(history)
+    _, results_b = run_history(history)
+    for ra, rb in zip(results_a, results_b):
+        assert ra.allocations == rb.allocations
+
+
+@given(
+    demands=st.dictionaries(
+        keys=st.sampled_from(JOBS),
+        values=st.integers(min_value=1, max_value=100),
+        min_size=2,
+        max_size=5,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_priority_monotone_when_demands_equal(demands):
+    """With identical demands, more nodes never means fewer initial tokens."""
+    equal = {job: 50 for job in demands}
+    algo = TokenAllocationAlgorithm(
+        enable_redistribution=False, enable_recompensation=False
+    )
+    result = algo.allocate(
+        AllocationInput(
+            interval_s=0.1, max_token_rate=1000.0, demands=equal, nodes=NODES
+        )
+    )
+    jobs = sorted(equal, key=lambda j: NODES[j])
+    for lo, hi in zip(jobs, jobs[1:]):
+        assert result.allocations[lo] <= result.allocations[hi]

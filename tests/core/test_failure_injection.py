@@ -1,0 +1,182 @@
+"""Failure injection: the control loop under hostile conditions.
+
+DESIGN.md §6 commits to testing jobs appearing/disappearing mid-run,
+zero-demand intervals, rule churn and OST bandwidth changes — the
+conditions §II-B calls out ("the set of active applications on each
+storage server is highly dynamic").
+"""
+
+import pytest
+
+from repro.core import AdapTbf
+from repro.lustre import ClientProcess, Network, Oss, Ost, TbfPolicy
+from repro.sim import Environment
+from repro.workloads.patterns import BurstPattern, SequentialWritePattern
+
+MB = 1 << 20
+
+
+def build(env, capacity_mbps=100, nodes=None, interval_s=0.1):
+    ost = Ost(env, "ost0", capacity_bps=capacity_mbps * MB)
+    policy = TbfPolicy(env)
+    oss = Oss(env, ost, policy, io_threads=8)
+    net = Network(env, latency_s=0.0)
+    frame = AdapTbf(
+        env,
+        oss,
+        nodes=nodes or {},
+        max_token_rate=capacity_mbps,
+        interval_s=interval_s,
+    )
+    return ost, policy, oss, net, frame
+
+
+def seq(total):
+    return SequentialWritePattern(total).program
+
+
+class TestJobChurn:
+    def test_flapping_job_keeps_ledger_balanced(self):
+        """A job alternating active/idle must not corrupt the ledger."""
+        env = Environment()
+        ost, policy, oss, net, frame = build(
+            env, nodes={"steady": 1, "flapper": 1}
+        )
+        ClientProcess(env, net, oss, "steady", "c0", seq(200 * MB))
+        ClientProcess(
+            env,
+            net,
+            oss,
+            "flapper",
+            "c1",
+            BurstPattern(
+                burst_bytes=2 * MB, interval_s=0.35, count=8
+            ).program,
+        )
+        env.run(until=4.0)
+        assert frame.algorithm.records.total() == 0
+        # Every allocation round conserved the token budget.
+        for round_ in frame.history:
+            assert (
+                sum(round_.result.allocations.values())
+                == round_.result.total_tokens
+            )
+
+    def test_many_short_lived_jobs_rule_churn(self):
+        """Dozens of jobs arriving/finishing: rules start and stop cleanly."""
+        env = Environment()
+        ost, policy, oss, net, frame = build(
+            env, nodes={f"burst{i}": 1 for i in range(12)}
+        )
+
+        def spawner(env):
+            for i in range(12):
+                ClientProcess(env, net, oss, f"burst{i}", f"c{i}", seq(8 * MB))
+                yield env.timeout(0.25)
+
+        env.process(spawner(env))
+        env.run(until=5.0)
+        # All work served despite the churn.
+        assert oss.completed_rpcs == 12 * 8
+        # Rules of finished jobs were stopped (at most the last few remain).
+        live = [n for n in policy.rule_names() if n.startswith("adaptbf_")]
+        assert len(live) <= 3
+        assert frame.daemon.rules_created >= 12
+        assert frame.daemon.rules_stopped >= 9
+
+    def test_zero_demand_interval_stops_all_rules(self):
+        """A globally idle period must clear every managed rule."""
+        env = Environment()
+        ost, policy, oss, net, frame = build(env, nodes={"j": 1})
+        ClientProcess(env, net, oss, "j", "c0", seq(5 * MB))
+        env.run(until=2.0)  # job finished long ago; many idle rounds passed
+        assert [n for n in policy.rule_names() if n.startswith("adaptbf_")] == []
+
+    def test_unknown_then_registered_job(self):
+        """A job unknown to the scheduler is safe (fallback), then managed."""
+        env = Environment()
+        ost, policy, oss, net, frame = build(env, nodes={"known": 1})
+        client = ClientProcess(env, net, oss, "ghost", "c0", seq(300 * MB))
+
+        def register_later(env):
+            yield env.timeout(0.35)
+            frame.register_job("ghost", nodes=2)
+
+        env.process(register_later(env))
+        env.run(until=1.0)
+        assert policy.has_rule_for_job("ghost")  # managed once registered
+        env.run(until=5.0)
+        assert client.finished
+
+
+class TestCapacityChanges:
+    def test_disk_degradation_mid_run(self):
+        """Halving disk speed mid-run: tokens outrun the disk, nothing breaks."""
+        env = Environment()
+        ost, policy, oss, net, frame = build(env, capacity_mbps=100)
+        frame.register_job("j", nodes=1)
+        ClientProcess(env, net, oss, "j", "c0", seq(150 * MB))
+
+        def degrade(env):
+            yield env.timeout(0.5)
+            ost.set_capacity(25 * MB)
+
+        env.process(degrade(env))
+        env.run(until=8.0)
+        # ~50 MB in the first 0.5 s, remaining 100 MB at 25 MB/s => ~4.5 s.
+        assert oss.completed_rpcs == 150
+        assert frame.algorithm.records.total() == 0
+
+    def test_disk_recovery_mid_run(self):
+        """Disk dips below rated speed, then recovers; tokens are rated at
+        the nominal capacity throughout (the controller has no capacity
+        feedback — §IV-G's simple deployment model)."""
+        env = Environment()
+        ost, policy, oss, net, frame = build(env, capacity_mbps=100)
+        ost.set_capacity(10 * MB)  # start degraded
+        frame.register_job("j", nodes=1)
+        done = []
+
+        def program(io):
+            yield from io.write(60 * MB)
+            done.append(io.now)
+
+        ClientProcess(env, net, oss, "j", "c0", program)
+
+        def recover(env):
+            yield env.timeout(1.0)
+            ost.set_capacity(100 * MB)
+
+        env.process(recover(env))
+        env.run(until=10.0)
+        # ~10 MB in the degraded 1st second, remaining ~50 MB at ~100 MB/s.
+        assert done and done[0] < 3.0
+
+    def test_capacity_validation(self):
+        env = Environment()
+        ost = Ost(env, "ost0", capacity_bps=MB)
+        with pytest.raises(ValueError):
+            ost.set_capacity(0)
+
+
+class TestControllerOverheadModel:
+    def test_overhead_delays_rule_application(self):
+        """With overhead_s > 0 rules apply later within each round."""
+        env = Environment()
+        ost = Ost(env, "ost0", capacity_bps=100 * MB)
+        policy = TbfPolicy(env)
+        oss = Oss(env, ost, policy, io_threads=8)
+        net = Network(env, latency_s=0.0)
+        AdapTbf(
+            env,
+            oss,
+            nodes={"j": 1},
+            max_token_rate=100,
+            interval_s=0.1,
+            overhead_s=0.025,  # the paper's measured ~25 ms
+        )
+        ClientProcess(env, net, oss, "j", "c0", seq(30 * MB))
+        env.run(until=0.12)
+        assert not policy.has_rule_for_job("j")  # still inside the overhead
+        env.run(until=0.13)
+        assert policy.has_rule_for_job("j")

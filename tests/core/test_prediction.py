@@ -1,0 +1,110 @@
+"""Tests for demand estimators (the §IV-E pattern-hint extension)."""
+
+import pytest
+
+from repro.core.allocation import TokenAllocationAlgorithm
+from repro.core.prediction import (
+    EwmaEstimator,
+    LastValueEstimator,
+    PeakHoldEstimator,
+)
+from repro.core.types import AllocationInput
+
+
+class TestLastValue:
+    def test_returns_latest_observation(self):
+        est = LastValueEstimator()
+        est.observe("j", 10)
+        est.observe("j", 3)
+        assert est.estimate("j") == 3.0
+
+    def test_unknown_job_is_zero(self):
+        assert LastValueEstimator().estimate("ghost") == 0.0
+
+
+class TestEwma:
+    def test_first_observation_initialises(self):
+        est = EwmaEstimator(alpha=0.5)
+        est.observe("j", 100)
+        assert est.estimate("j") == 100.0
+
+    def test_smooths_spikes(self):
+        est = EwmaEstimator(alpha=0.5)
+        est.observe("j", 100)
+        est.observe("j", 0)
+        assert est.estimate("j") == 50.0
+
+    def test_alpha_one_is_last_value(self):
+        est = EwmaEstimator(alpha=1.0)
+        est.observe("j", 100)
+        est.observe("j", 7)
+        assert est.estimate("j") == 7.0
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            EwmaEstimator(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaEstimator(alpha=1.5)
+
+
+class TestPeakHold:
+    def test_holds_recent_maximum(self):
+        est = PeakHoldEstimator(window=3)
+        for demand in (5, 100, 2):
+            est.observe("j", demand)
+        assert est.estimate("j") == 100.0
+
+    def test_old_peaks_expire(self):
+        est = PeakHoldEstimator(window=2)
+        for demand in (100, 2, 3):
+            est.observe("j", demand)
+        assert est.estimate("j") == 3.0
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            PeakHoldEstimator(window=0)
+
+
+class TestEstimatorInAllocator:
+    NODES = {"lender": 1, "borrower": 1}
+
+    def lend_then_claim(self, estimator):
+        """Lender idles (bursty: alternating 200/1) while borrower hogs."""
+        algo = TokenAllocationAlgorithm(demand_estimator=estimator)
+        reclaims = []
+        for round_ in range(12):
+            lender_demand = 200 if round_ % 4 == 0 else 1
+            result = algo.allocate(
+                AllocationInput(
+                    interval_s=0.1,
+                    max_token_rate=1000.0,
+                    demands={"lender": lender_demand, "borrower": 400},
+                    nodes=self.NODES,
+                )
+            )
+            reclaims.append(result.reclaimed_pool)
+        return algo, reclaims
+
+    def test_default_is_paper_last_value(self):
+        algo = TokenAllocationAlgorithm()
+        assert isinstance(algo.demand_estimator, LastValueEstimator)
+
+    def test_peak_hold_defers_reclaim_until_needed(self):
+        """Eq. 13's head-room term reclaims *more* when estimated future
+        utilization is low (the paper: high future utilization ⇒ reclaim
+        fewer).  Peak-hold predicts the next burst even in quiet periods,
+        so its future-utilization stays high and reclaim is deferred —
+        the borrower keeps tokens until the lender will actually use them.
+        """
+        _, last_value_reclaims = self.lend_then_claim(LastValueEstimator())
+        _, peak_reclaims = self.lend_then_claim(PeakHoldEstimator(window=6))
+        assert sum(peak_reclaims) <= sum(last_value_reclaims)
+
+    def test_all_estimators_preserve_invariants(self):
+        for estimator in (
+            LastValueEstimator(),
+            EwmaEstimator(alpha=0.3),
+            PeakHoldEstimator(window=4),
+        ):
+            algo, _ = self.lend_then_claim(estimator)
+            assert algo.records.total() == 0

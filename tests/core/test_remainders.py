@@ -1,0 +1,100 @@
+"""Unit tests for remainder accounting (Eq. 21-25)."""
+
+import pytest
+
+from repro.core.remainders import RemainderStore
+
+
+def test_exact_integers_pass_through():
+    store = RemainderStore()
+    got = store.integerize({"a": 10.0, "b": 30.0, "c": 60.0}, 100)
+    assert got == {"a": 10, "b": 30, "c": 60}
+    assert all(abs(r) < 1e-9 for r in store.snapshot().values())
+
+
+def test_fractions_floor_and_carry():
+    store = RemainderStore()
+    got = store.integerize({"a": 1.5, "b": 1.5}, 3)
+    # Floors give 1+1=2; the leftover token goes to a largest-remainder job.
+    assert sorted(got.values()) == [1, 2]
+    assert sum(got.values()) == 3
+
+
+def test_remainders_pay_back_over_time():
+    """A job owed 0.5/round must receive ~n/2 tokens over n rounds."""
+    store = RemainderStore()
+    totals = {"a": 0, "b": 0}
+    for _ in range(10):
+        got = store.integerize({"a": 0.5, "b": 0.5}, 1)
+        for job, tokens in got.items():
+            totals[job] += tokens
+    assert totals["a"] + totals["b"] == 10
+    assert totals["a"] == 5
+    assert totals["b"] == 5
+
+
+def test_tiny_shares_are_not_starved():
+    """Paper §III-C4: sub-token fair shares accumulate via remainders."""
+    store = RemainderStore()
+    received = 0
+    for _ in range(100):
+        got = store.integerize({"small": 0.1, "big": 99.9}, 100)
+        received += got["small"]
+    assert received == 10  # exactly 0.1 * 100
+
+
+def test_total_always_met_exactly():
+    store = RemainderStore()
+    raw = {"a": 33.3333, "b": 33.3333, "c": 33.3334}
+    for _ in range(50):
+        got = store.integerize(raw, 100)
+        assert sum(got.values()) == 100
+
+
+def test_mismatched_total_rejected():
+    store = RemainderStore()
+    with pytest.raises(ValueError):
+        store.integerize({"a": 10.0}, 99)
+
+
+def test_empty_with_zero_total_ok():
+    assert RemainderStore().integerize({}, 0) == {}
+
+
+def test_empty_with_nonzero_total_rejected():
+    with pytest.raises(ValueError):
+        RemainderStore().integerize({}, 5)
+
+
+def test_negative_total_rejected():
+    with pytest.raises(ValueError):
+        RemainderStore().integerize({"a": -1.0}, -1)
+
+
+def test_grants_never_negative():
+    store = RemainderStore()
+    # Drive a job's remainder negative via leftover corrections...
+    store.integerize({"a": 0.6, "b": 0.6, "c": 0.8}, 2)
+    # ...then verify later grants stay >= 0 whatever the remainder state.
+    for _ in range(20):
+        got = store.integerize({"a": 0.4, "b": 0.3, "c": 0.3}, 1)
+        assert all(v >= 0 for v in got.values())
+
+
+def test_drop_forgets_job():
+    store = RemainderStore()
+    store.integerize({"a": 0.5, "b": 0.5}, 1)
+    store.drop("a")
+    assert store.get("a") == 0.0
+
+
+def test_per_job_conservation():
+    """raw + rho_before == granted + rho_after for every job."""
+    store = RemainderStore()
+    raw = {"a": 3.7, "b": 2.1, "c": 4.2}
+    before = {j: store.get(j) for j in raw}
+    got = store.integerize(raw, 10)
+    for job in raw:
+        assert raw[job] + before[job] == pytest.approx(
+            got[job] + store.get(job)
+        )

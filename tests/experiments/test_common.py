@@ -1,0 +1,75 @@
+"""Tests for the shared experiment plumbing (scales, comparison helpers)."""
+
+import pytest
+
+from repro.experiments.common import (
+    MechanismComparison,
+    bench_scale,
+    compare_mechanisms,
+    full_scale,
+)
+from repro.workloads.scenarios import ScenarioConfig, scenario_allocation
+
+
+def test_full_scale_is_paper_configuration():
+    cfg = full_scale()
+    assert cfg.data_scale == 1.0
+    assert cfg.time_scale == 1.0
+
+
+def test_bench_scale_reduced_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_FULL", raising=False)
+    cfg = bench_scale()
+    assert cfg.data_scale < 1.0
+    assert cfg.time_scale < 1.0
+    assert cfg.data_scale == cfg.time_scale  # uniform scaling
+
+
+def test_bench_scale_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_FULL", "1")
+    cfg = bench_scale()
+    assert cfg.data_scale == 1.0 and cfg.time_scale == 1.0
+
+
+class TestMechanismComparison:
+    @pytest.fixture(scope="class")
+    def cmp(self):
+        scenario = scenario_allocation(
+            ScenarioConfig(data_scale=1 / 256, heavy_procs=2)
+        )
+        return compare_mechanisms(scenario, capacity_mib_s=256)
+
+    def test_all_three_mechanisms_present(self, cmp):
+        assert set(cmp.results) == {"none", "static", "adaptbf"}
+        assert cmp.none.mechanism == "none"
+        assert cmp.static.mechanism == "static"
+        assert cmp.adaptbf.mechanism == "adaptbf"
+
+    def test_job_ids_follow_scenario(self, cmp):
+        assert cmp.job_ids == ["job1", "job2", "job3", "job4"]
+
+    def test_bandwidth_table_contains_all_mechanisms(self, cmp):
+        table = cmp.bandwidth_table("T")
+        for mechanism in ("none", "static", "adaptbf"):
+            assert mechanism in table
+        assert "overall" in table
+
+    def test_gains_table_references_baseline(self, cmp):
+        table = cmp.gains_table("none", "G")
+        assert "aggregate" in table
+
+    def test_timeline_report_covers_all_jobs(self, cmp):
+        report = cmp.timeline_report("adaptbf")
+        for job in cmp.job_ids:
+            assert job in report
+
+    def test_isolated_mechanism_subset(self):
+        from repro.cluster.builder import Mechanism
+
+        scenario = scenario_allocation(
+            ScenarioConfig(data_scale=1 / 256, heavy_procs=2)
+        )
+        cmp = compare_mechanisms(
+            scenario, capacity_mib_s=256, mechanisms=(Mechanism.ADAPTBF,)
+        )
+        assert set(cmp.results) == {"adaptbf"}

@@ -1,0 +1,117 @@
+"""Unit tests for the processor-sharing OST bandwidth server."""
+
+import pytest
+
+from repro.lustre.ost import Ost
+from repro.sim import Environment
+
+
+def test_single_transfer_takes_size_over_capacity():
+    env = Environment()
+    ost = Ost(env, "ost0", capacity_bps=100.0)
+    done = ost.transfer(250.0)
+    times = []
+    done.add_callback(lambda e: times.append(env.now))
+    env.run()
+    assert times == [pytest.approx(2.5)]
+
+
+def test_two_equal_transfers_share_bandwidth():
+    env = Environment()
+    ost = Ost(env, "ost0", capacity_bps=100.0)
+    times = {}
+    for tag in ("a", "b"):
+        ost.transfer(100.0).add_callback(lambda e, t=tag: times.setdefault(t, env.now))
+    env.run()
+    # Each gets 50 B/s => both complete at t=2 (not t=1).
+    assert times["a"] == pytest.approx(2.0)
+    assert times["b"] == pytest.approx(2.0)
+
+
+def test_short_transfer_finishes_first_then_long_speeds_up():
+    env = Environment()
+    ost = Ost(env, "ost0", capacity_bps=100.0)
+    times = {}
+    ost.transfer(50.0).add_callback(lambda e: times.setdefault("short", env.now))
+    ost.transfer(150.0).add_callback(lambda e: times.setdefault("long", env.now))
+    env.run()
+    # Shared 50/50 until short finishes at t=1 (50B at 50B/s); long then has
+    # 100B left at full 100B/s => completes at t=2.
+    assert times["short"] == pytest.approx(1.0)
+    assert times["long"] == pytest.approx(2.0)
+
+
+def test_late_arrival_slows_existing_transfer():
+    env = Environment()
+    ost = Ost(env, "ost0", capacity_bps=100.0)
+    times = {}
+
+    def starter(env):
+        ost.transfer(100.0).add_callback(lambda e: times.setdefault("first", env.now))
+        yield env.timeout(0.5)
+        ost.transfer(200.0).add_callback(lambda e: times.setdefault("second", env.now))
+
+    env.process(starter(env))
+    env.run()
+    # First: 50B done by t=0.5, then 50B at 50B/s => t=1.5.
+    assert times["first"] == pytest.approx(1.5)
+    # Second: 50B by t=1.5 (shared), 150B at 100B/s => t=3.0.
+    assert times["second"] == pytest.approx(3.0)
+
+
+def test_aggregate_rate_equals_capacity_under_load():
+    env = Environment()
+    ost = Ost(env, "ost0", capacity_bps=1000.0)
+    for _ in range(10):
+        ost.transfer(500.0)
+    env.run()
+    # 5000 bytes at 1000 B/s => all done at t=5 regardless of concurrency.
+    assert env.now == pytest.approx(5.0)
+    assert ost.bytes_served == pytest.approx(5000.0)
+
+
+def test_active_transfers_counter():
+    env = Environment()
+    ost = Ost(env, "ost0", capacity_bps=100.0)
+    ost.transfer(100.0)
+    ost.transfer(100.0)
+    assert ost.active_transfers == 2
+    env.run()
+    assert ost.active_transfers == 0
+
+
+def test_utilization_accounting():
+    env = Environment()
+    ost = Ost(env, "ost0", capacity_bps=100.0)
+    ost.transfer(100.0)
+    env.run()
+    env.timeout(1.0)
+    env.run()  # idle second
+    assert ost.utilization(since=0.0, until=2.0) == pytest.approx(0.5)
+
+
+def test_invalid_parameters():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Ost(env, "bad", capacity_bps=0.0)
+    ost = Ost(env, "ost0", capacity_bps=1.0)
+    with pytest.raises(ValueError):
+        ost.transfer(0.0)
+
+
+def test_many_staggered_transfers_conserve_work():
+    env = Environment()
+    ost = Ost(env, "ost0", capacity_bps=100.0)
+    completions = []
+
+    def feeder(env):
+        for i in range(20):
+            ost.transfer(25.0).add_callback(lambda e: completions.append(env.now))
+            yield env.timeout(0.05)
+
+    env.process(feeder(env))
+    env.run()
+    assert len(completions) == 20
+    # Total work 500 B at 100 B/s with continuous backlog: finish >= 5 s.
+    assert env.now == pytest.approx(5.0, abs=0.2)
+    assert ost.bytes_served == pytest.approx(500.0)

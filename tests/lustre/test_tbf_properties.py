@@ -1,0 +1,155 @@
+"""Property-based tests (hypothesis) for the TBF scheduler and token bucket.
+
+Invariants pinned (DESIGN.md §6):
+
+* **rate compliance** — a queue never serves more than ``depth + rate·T``
+  RPCs over any window starting from a full bucket;
+* **conservation** — every enqueued RPC is either served exactly once or
+  still pending; nothing is lost or duplicated through rule churn;
+* **FIFO per job** — a job's RPCs are served in arrival order regardless of
+  what happens to other queues or rules;
+* **bucket monotonicity** — token level never exceeds depth and never goes
+  negative.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lustre.bucket import TokenBucket
+from repro.lustre.rpc import Rpc
+from repro.lustre.tbf import TbfRule, TbfScheduler
+
+JOBS = ["a", "b", "c"]
+
+
+def ops_strategy():
+    """A random schedule of scheduler operations with increasing time."""
+    op = st.one_of(
+        st.tuples(st.just("enqueue"), st.sampled_from(JOBS)),
+        st.tuples(st.just("dequeue"), st.none()),
+        st.tuples(st.just("rerate"), st.sampled_from(JOBS)),
+        st.tuples(st.just("advance"), st.floats(0.001, 0.5)),
+    )
+    return st.lists(op, min_size=1, max_size=80)
+
+
+def build_sched(rates):
+    sched = TbfScheduler()
+    for job, rate in rates.items():
+        sched.start_rule(0.0, TbfRule(f"r_{job}", job, rate=rate, depth=3))
+    return sched
+
+
+@given(
+    ops=ops_strategy(),
+    rates=st.fixed_dictionaries(
+        {j: st.floats(min_value=1.0, max_value=100.0) for j in JOBS}
+    ),
+)
+@settings(max_examples=120, deadline=None)
+def test_conservation_and_fifo(ops, rates):
+    sched = build_sched(rates)
+    now = 0.0
+    enqueued = {j: [] for j in JOBS}
+    served = {j: [] for j in JOBS}
+    for kind, arg in ops:
+        if kind == "enqueue":
+            rpc = Rpc(job_id=arg, client_id="c", size_bytes=1)
+            enqueued[arg].append(rpc)
+            sched.enqueue(now, rpc)
+        elif kind == "dequeue":
+            rpc = sched.dequeue(now)
+            if rpc is not None:
+                served[rpc.job_id].append(rpc)
+        elif kind == "rerate":
+            sched.change_rate(now, f"r_{arg}", rates[arg] * 2)
+        else:  # advance
+            now += arg
+
+    total_pending = sched.pending
+    total_enqueued = sum(len(v) for v in enqueued.values())
+    total_served = sum(len(v) for v in served.values())
+    # Conservation: enqueued == served + pending.
+    assert total_enqueued == total_served + total_pending
+    # FIFO per job: served order is a prefix-order-preserving subsequence.
+    for job in JOBS:
+        assert served[job] == enqueued[job][: len(served[job])]
+
+
+@given(
+    rate=st.floats(min_value=1.0, max_value=200.0),
+    horizon=st.floats(min_value=0.1, max_value=5.0),
+    step=st.floats(min_value=0.001, max_value=0.05),
+)
+@settings(max_examples=100, deadline=None)
+def test_rate_compliance_under_constant_pressure(rate, horizon, step):
+    """Served count over [0,T] <= depth + rate*T, >= rate*T - 1 (work cons.)."""
+    depth = 3
+    sched = TbfScheduler()
+    sched.start_rule(0.0, TbfRule("r", "job", rate=rate, depth=depth))
+    for _ in range(int(depth + rate * horizon) + 10):
+        sched.enqueue(0.0, Rpc(job_id="job", client_id="c", size_bytes=1))
+    served = 0
+    t = 0.0
+    while t <= horizon:
+        while sched.dequeue(t) is not None:
+            served += 1
+        t += step
+    assert served <= depth + rate * horizon + 1e-6
+    # Work conservation at the sampling resolution: no token is wasted
+    # while a backlog exists — except by design when the poll interval lets
+    # the bucket overflow.  With a fractional residue of up to 1 token left
+    # after each harvest, overflow starts once rate*step > depth - 1, so the
+    # guaranteed harvest rate is min(rate, (depth-1)/step): TBF's
+    # burst-bounding property, not a bug.
+    effective_rate = min(rate, (depth - 1) / step)
+    # Slack of 2: one token potentially in flight at the final sample plus
+    # the fractional token never matured by the end of the window.
+    assert served >= effective_rate * (horizon - step) - 2
+
+
+@given(
+    rate=st.floats(min_value=0.0, max_value=1000.0),
+    depth=st.floats(min_value=0.5, max_value=64.0),
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=50
+    ),
+)
+@settings(max_examples=150, deadline=None)
+def test_bucket_bounds(rate, depth, times):
+    bucket = TokenBucket(rate=rate, depth=depth, tokens=0.0, now=0.0)
+    for t in sorted(times):
+        level = bucket.tokens_at(t)
+        assert 0.0 <= level <= depth + 1e-9
+        bucket.try_consume(t)  # whatever happens, bounds must hold
+        assert 0.0 <= bucket.tokens_at(t) <= depth + 1e-9
+
+
+@given(
+    ops=ops_strategy(),
+)
+@settings(max_examples=80, deadline=None)
+def test_rule_churn_never_loses_rpcs(ops):
+    """Stopping/restarting rules mid-stream conserves every RPC."""
+    sched = build_sched({j: 10.0 for j in JOBS})
+    now = 0.0
+    total_in = 0
+    total_out = 0
+    for i, (kind, arg) in enumerate(ops):
+        if kind == "enqueue":
+            sched.enqueue(now, Rpc(job_id=arg, client_id="c", size_bytes=1))
+            total_in += 1
+        elif kind == "dequeue":
+            if sched.dequeue(now) is not None:
+                total_out += 1
+        elif kind == "rerate":
+            # Every third rerate becomes a stop/start churn instead.
+            name = f"r_{arg}"
+            if i % 3 == 0 and name in sched.rule_names():
+                sched.stop_rule(now, name)
+                sched.start_rule(now, TbfRule(name, arg, rate=10.0, depth=3))
+            elif name in sched.rule_names():
+                sched.change_rate(now, name, 20.0)
+        else:
+            now += arg
+    assert total_in == total_out + sched.pending

@@ -1,0 +1,86 @@
+"""Property-based tests for the discrete-event engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), max_size=100))
+@settings(max_examples=100, deadline=None)
+def test_events_fire_in_nondecreasing_time_order(delays):
+    env = Environment()
+    fired = []
+    for delay in delays:
+        env.timeout(delay).add_callback(lambda e: fired.append(env.now))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_clock_settles_on_last_event(delays):
+    env = Environment()
+    for delay in delays:
+        env.timeout(delay)
+    env.run()
+    assert env.now == max(delays)
+
+
+@given(
+    spec=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=10.0),  # start offset
+            st.lists(
+                st.floats(min_value=0.0, max_value=5.0), min_size=1, max_size=5
+            ),  # successive waits
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_interleaved_processes_observe_monotone_time(spec):
+    env = Environment()
+    observations = []
+
+    def body(env, start, waits):
+        yield env.timeout(start)
+        for wait in waits:
+            observations.append(env.now)
+            yield env.timeout(wait)
+        observations.append(env.now)
+
+    for start, waits in spec:
+        env.process(body(env, start, waits))
+    env.run()
+    # Global observation order equals chronological order.
+    assert observations == sorted(observations)
+    # Each process observed len(waits)+1 instants.
+    assert len(observations) == sum(len(w) + 1 for _, w in spec)
+
+
+@given(
+    n_waiters=st.integers(min_value=1, max_value=20),
+    trigger_delay=st.floats(min_value=0.0, max_value=10.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_broadcast_event_wakes_every_waiter_once(n_waiters, trigger_delay):
+    env = Environment()
+    signal = env.event()
+    woken = []
+
+    def waiter(env, index):
+        yield signal
+        woken.append(index)
+
+    for index in range(n_waiters):
+        env.process(waiter(env, index))
+    env.timeout(trigger_delay).add_callback(lambda e: signal.succeed())
+    env.run()
+    assert sorted(woken) == list(range(n_waiters))

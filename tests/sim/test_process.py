@@ -1,0 +1,189 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt
+
+
+def test_process_runs_to_completion():
+    env = Environment()
+    log = []
+
+    def body(env):
+        log.append(env.now)
+        yield env.timeout(1.0)
+        log.append(env.now)
+
+    env.process(body(env))
+    env.run()
+    assert log == [0.0, 1.0]
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)
+
+
+def test_process_return_value_propagates():
+    env = Environment()
+
+    def body(env):
+        yield env.timeout(1.0)
+        return "done"
+
+    proc = env.process(body(env))
+    env.run()
+    assert proc.value == "done"
+
+
+def test_processes_can_wait_on_each_other():
+    env = Environment()
+    log = []
+
+    def child(env):
+        yield env.timeout(2.0)
+        return 7
+
+    def parent(env):
+        value = yield env.process(child(env))
+        log.append((env.now, value))
+
+    env.process(parent(env))
+    env.run()
+    assert log == [(2.0, 7)]
+
+
+def test_yielding_non_event_fails_process():
+    env = Environment()
+
+    def body(env):
+        yield 42
+
+    env.process(body(env))
+    with pytest.raises(TypeError):
+        env.run()
+
+
+def test_exception_in_body_propagates():
+    env = Environment()
+
+    def body(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("kaput")
+
+    env.process(body(env))
+    with pytest.raises(RuntimeError, match="kaput"):
+        env.run()
+
+
+def test_waiting_on_already_processed_event():
+    env = Environment()
+    done = env.event()
+    done.succeed("early")
+    log = []
+
+    def body(env):
+        yield env.timeout(1.0)
+        value = yield done  # processed long ago; must resume immediately
+        log.append((env.now, value))
+
+    env.process(body(env))
+    env.run()
+    assert log == [(1.0, "early")]
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    log = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as exc:
+            log.append((env.now, exc.cause))
+
+    def attacker(env, target):
+        yield env.timeout(3.0)
+        target.interrupt("budget exceeded")
+
+    target = env.process(victim(env))
+    env.process(attacker(env, target))
+    env.run()
+    assert log == [(3.0, "budget exceeded")]
+
+
+def test_interrupt_then_continue_waiting():
+    env = Environment()
+    log = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt:
+            pass
+        yield env.timeout(1.0)
+        log.append(env.now)
+
+    def attacker(env, target):
+        yield env.timeout(5.0)
+        target.interrupt()
+
+    target = env.process(victim(env))
+    env.process(attacker(env, target))
+    env.run()
+    assert log == [6.0]
+
+
+def test_interrupting_finished_process_raises():
+    env = Environment()
+
+    def body(env):
+        yield env.timeout(1.0)
+
+    proc = env.process(body(env))
+    env.run()
+    with pytest.raises(RuntimeError):
+        proc.interrupt()
+
+
+def test_unhandled_interrupt_fails_process():
+    env = Environment()
+
+    def victim(env):
+        yield env.timeout(100.0)
+
+    def attacker(env, target):
+        yield env.timeout(1.0)
+        target.interrupt("die")
+
+    target = env.process(victim(env))
+    env.process(attacker(env, target))
+    with pytest.raises(Interrupt):
+        env.run()
+
+
+def test_is_alive_reflects_state():
+    env = Environment()
+
+    def body(env):
+        yield env.timeout(2.0)
+
+    proc = env.process(body(env))
+    assert proc.is_alive
+    env.run()
+    assert not proc.is_alive
+
+
+def test_active_process_visible_during_execution():
+    env = Environment()
+    seen = []
+
+    def body(env):
+        seen.append(env.active_process)
+        yield env.timeout(1.0)
+
+    proc = env.process(body(env))
+    env.run()
+    assert seen == [proc]
+    assert env.active_process is None

@@ -1,0 +1,130 @@
+"""Unit tests for workload patterns, executed on the real client stack."""
+
+import pytest
+
+from repro.lustre import ClientProcess, FifoPolicy, Network, Oss, Ost
+from repro.sim import Environment
+from repro.workloads.patterns import (
+    BurstPattern,
+    DelayedContinuousPattern,
+    SequentialWritePattern,
+)
+
+MB = 1 << 20
+
+
+def build(env, capacity_mbps=1000):
+    ost = Ost(env, "ost0", capacity_bps=capacity_mbps * MB)
+    oss = Oss(env, ost, FifoPolicy(env), io_threads=8)
+    net = Network(env, latency_s=0.0)
+    return ost, oss, net
+
+
+def run_pattern(pattern, capacity_mbps=1000, until=None):
+    env = Environment()
+    ost, oss, net = build(env, capacity_mbps)
+    client = ClientProcess(env, net, oss, "job", "c0", pattern.program)
+    if until is None:
+        env.run()
+    else:
+        env.run(until=until)
+    return env, client, ost
+
+
+class TestSequentialWritePattern:
+    def test_writes_exact_volume(self):
+        env, client, ost = run_pattern(SequentialWritePattern(10 * MB))
+        assert client.io.bytes_written == 10 * MB
+        assert ost.bytes_served == 10 * MB
+
+    def test_start_delay_respected(self):
+        env, client, ost = run_pattern(
+            SequentialWritePattern(10 * MB, start_delay_s=2.0)
+        )
+        # 10 MB at 1000 MB/s is ~10 ms; almost all time is the delay.
+        assert env.now == pytest.approx(2.01, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SequentialWritePattern(0)
+        with pytest.raises(ValueError):
+            SequentialWritePattern(1, start_delay_s=-1)
+
+    def test_hint(self):
+        assert SequentialWritePattern(5 * MB).total_bytes_hint() == 5 * MB
+
+
+class TestBurstPattern:
+    def test_gap_pacing_sleeps_after_completion(self):
+        pattern = BurstPattern(
+            burst_bytes=10 * MB, interval_s=1.0, count=3, pace="gap"
+        )
+        env, client, ost = run_pattern(pattern)
+        # 3 bursts of ~10ms separated by two 1s gaps => ~2.03s total.
+        assert env.now == pytest.approx(2.03, abs=0.1)
+        assert client.io.bytes_written == 30 * MB
+
+    def test_cadence_pacing_fixed_period(self):
+        pattern = BurstPattern(
+            burst_bytes=10 * MB, interval_s=1.0, count=3, pace="cadence"
+        )
+        env, client, ost = run_pattern(pattern)
+        # Bursts start at 0, 1, 2; last burst ~10ms => ~2.01s.
+        assert env.now == pytest.approx(2.01, abs=0.1)
+
+    def test_cadence_backpressure_when_burst_overruns(self):
+        # 100 MB at 50 MB/s takes 2 s > 1 s interval: bursts run back-to-back.
+        pattern = BurstPattern(
+            burst_bytes=100 * MB, interval_s=1.0, count=2, pace="cadence"
+        )
+        env, client, ost = run_pattern(pattern, capacity_mbps=50)
+        assert env.now == pytest.approx(4.0, abs=0.2)
+
+    def test_start_delay_offsets_first_burst(self):
+        pattern = BurstPattern(
+            burst_bytes=1 * MB, interval_s=1.0, count=1, start_delay_s=3.0
+        )
+        env, client, ost = run_pattern(pattern)
+        assert env.now == pytest.approx(3.0, abs=0.1)
+
+    def test_hint(self):
+        assert (
+            BurstPattern(burst_bytes=MB, interval_s=1, count=7).total_bytes_hint()
+            == 7 * MB
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(burst_bytes=0, interval_s=1, count=1),
+            dict(burst_bytes=1, interval_s=0, count=1),
+            dict(burst_bytes=1, interval_s=1, count=0),
+            dict(burst_bytes=1, interval_s=1, count=1, start_delay_s=-1),
+            dict(burst_bytes=1, interval_s=1, count=1, pace="warp"),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            BurstPattern(**kwargs)
+
+
+class TestDelayedContinuousPattern:
+    def test_waits_then_streams(self):
+        pattern = DelayedContinuousPattern(delay_s=5.0, total_bytes=10 * MB)
+        env, client, ost = run_pattern(pattern)
+        assert env.now == pytest.approx(5.01, abs=0.05)
+        assert client.io.bytes_written == 10 * MB
+
+    def test_nothing_written_before_delay(self):
+        pattern = DelayedContinuousPattern(delay_s=5.0, total_bytes=10 * MB)
+        env = Environment()
+        ost, oss, net = build(env)
+        ClientProcess(env, net, oss, "job", "c0", pattern.program)
+        env.run(until=4.9)
+        assert ost.bytes_served == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DelayedContinuousPattern(delay_s=-1, total_bytes=1)
+        with pytest.raises(ValueError):
+            DelayedContinuousPattern(delay_s=0, total_bytes=0)
