@@ -4,52 +4,34 @@
 The paper's scalability argument: rather than coordinating bandwidth
 globally, run one *independent* AdapTBF instance per storage target; if
 every target is locally fair and work-conserving, the sum over targets is
-globally fair.  This example runs a 1-node hog against a 6-node job whose
-files are spread over four OSTs (Lustre-style round-robin placement, with
-optional striping) and shows:
+globally fair.  This example runs the registry's ``multiost`` scenario —
+a 1-node hog against a 6-node job whose files are spread over four OSTs
+(Lustre-style round-robin placement with striping) — and shows:
 
 * four controllers making decisions from purely local job stats,
 * the global bandwidth split tracking the 6:1 priority anyway,
 * zero communication between targets (by construction — each controller
   object only references its own OSS).
 
+The same scenario is available from the command line::
+
+    python -m repro.experiments run multiost --param n_osts=4
+
 Run:  python examples/decentralized_multiost.py
 """
 
-from repro.cluster import ClusterConfig, Mechanism, run_experiment
-from repro.workloads import JobSpec, ProcessSpec, SequentialWritePattern
-
-MIB = 1 << 20
-
-
-def make_jobs():
-    return [
-        JobSpec(
-            job_id="simulation",  # a 6-node application
-            nodes=6,
-            processes=tuple(
-                ProcessSpec(SequentialWritePattern(512 * MIB)) for _ in range(8)
-            ),
-        ),
-        JobSpec(
-            job_id="hog",  # 1 node, same I/O appetite
-            nodes=1,
-            processes=tuple(
-                ProcessSpec(SequentialWritePattern(512 * MIB)) for _ in range(8)
-            ),
-        ),
-    ]
+from repro.scenarios import REGISTRY, run_scenario
 
 
 def main() -> None:
-    config = ClusterConfig(
-        mechanism=Mechanism.ADAPTBF,
+    spec = REGISTRY.build(
+        "multiost",
         n_osts=4,  # four independent (OSS, OST) stacks
         stripe_count=2,  # each file striped across two OSTs
         capacity_mib_s=256.0,  # per OST => 1 GiB/s aggregate
-        interval_s=0.1,
+        duration=3.0,
     )
-    result = run_experiment(config, make_jobs(), duration_s=3.0)
+    result = run_scenario(spec)
 
     print("Global achieved bandwidth (4 OSTs x 256 MiB/s):")
     for job in ("simulation", "hog"):

@@ -1,49 +1,31 @@
 #!/usr/bin/env python3
 """Quickstart: put AdapTBF in front of two competing jobs.
 
-Builds a one-OST simulated Lustre cluster, runs a 4-node job against a
-1-node bandwidth hog, and shows what AdapTBF does about it: the big job
-gets its proportional share, the hog is throttled — but only while the big
-job actually needs the bandwidth.
+Uses the declarative scenario pipeline: the ``quickstart`` scenario from
+the registry (a 4-node job against a 1-node bandwidth hog on one OST) is
+run under FCFS and under AdapTBF, showing what AdapTBF does about the
+contention: the big job gets its proportional share, the hog is throttled —
+but only while the big job actually needs the bandwidth.
+
+The same scenario is available from the command line::
+
+    python -m repro.experiments run quickstart --mechanism adaptbf
 
 Run:  python examples/quickstart.py
 """
 
-from repro.cluster import ClusterConfig, Mechanism, run_experiment
-from repro.workloads import JobSpec, ProcessSpec, SequentialWritePattern
-
-MIB = 1 << 20
+from repro.scenarios import REGISTRY, run_scenario
 
 
 def main() -> None:
     # Two jobs: `science` was allocated 4 compute nodes, `hog` only 1 —
     # so science is entitled to 80% of each storage target it touches.
-    jobs = [
-        JobSpec(
-            job_id="science",
-            nodes=4,
-            processes=tuple(
-                ProcessSpec(SequentialWritePattern(256 * MIB)) for _ in range(4)
-            ),
-        ),
-        JobSpec(
-            job_id="hog",
-            nodes=1,
-            processes=tuple(
-                ProcessSpec(SequentialWritePattern(256 * MIB)) for _ in range(4)
-            ),
-        ),
-    ]
-
-    for mechanism in (Mechanism.NONE, Mechanism.ADAPTBF):
-        config = ClusterConfig(
-            mechanism=mechanism,
-            capacity_mib_s=1024.0,  # one SSD-class OST
-            interval_s=0.1,  # AdapTBF observation period (paper: 100 ms)
-        )
-        result = run_experiment(config, jobs)
-        print(f"--- mechanism: {mechanism.value} ---")
-        for job in ("science", "hog"):
+    # The mechanism is part of the spec's policy; everything else is shared.
+    for mechanism in ("none", "adaptbf"):
+        spec = REGISTRY.build("quickstart", mechanism=mechanism)
+        result = run_scenario(spec)
+        print(f"--- mechanism: {mechanism} ---")
+        for job in spec.job_ids:
             bw = result.summary.job(job)
             done = result.job_completion_s.get(job, float("nan"))
             print(f"  {job:8s}  {bw:7.1f} MiB/s   finished at {done:5.2f} s")

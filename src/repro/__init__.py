@@ -10,20 +10,27 @@ Dai, IPPS 2025).  The package layers:
 * :mod:`repro.core` — the AdapTBF framework itself (three-step token
   allocation with lending/borrowing records, remainder fairness, controller
   and rule daemon) plus the paper's baselines and ablations;
-* :mod:`repro.workloads` — Filebench-style synthetic workloads and the three
-  §IV scenarios;
-* :mod:`repro.cluster` — experiment assembly and the single-call runner;
+* :mod:`repro.workloads` — Filebench-style synthetic workloads: the three
+  §IV scenarios plus new job mixes (burst storms, elastic churn);
+* :mod:`repro.scenarios` — the declarative pipeline: frozen ``ScenarioSpec``
+  family, named scenario registry, and the ``run_scenario(spec)`` entry
+  point everything executes through;
+* :mod:`repro.cluster` — spec materialization (``build(spec)``) and the
+  experiment executor;
 * :mod:`repro.metrics` — timelines, summaries and text rendering;
-* :mod:`repro.experiments` — one module per paper figure/analysis.
+* :mod:`repro.experiments` — figure adapters and the unified CLI
+  (``python -m repro.experiments run <scenario>``).
 
 Quickstart
 ----------
->>> from repro.cluster import ClusterConfig, Mechanism, run_scenario
->>> from repro.workloads import ScenarioConfig, scenario_allocation
->>> scenario = scenario_allocation(ScenarioConfig(data_scale=1 / 64))
->>> result = run_scenario(scenario, ClusterConfig(mechanism=Mechanism.ADAPTBF))
+>>> from repro.scenarios import REGISTRY, run_scenario
+>>> result = run_scenario(REGISTRY.build("quickstart", file_mib=16.0))
 >>> result.summary.aggregate_mib_s > 0
 True
+
+``repro.run_scenario`` is the pipeline entry point (takes a
+``ScenarioSpec``); the pre-pipeline runner taking a legacy ``Scenario`` +
+``ClusterConfig`` remains available as ``repro.cluster.run_scenario``.
 """
 
 from repro.cluster import (
@@ -33,14 +40,26 @@ from repro.cluster import (
     Mechanism,
     build_cluster,
     run_experiment,
-    run_scenario,
 )
 from repro.core import AdapTbf, TokenAllocationAlgorithm
+from repro.scenarios import (
+    REGISTRY,
+    PolicySpec,
+    RunSpec,
+    ScenarioSpec,
+    TopologySpec,
+    run_scenario,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AdapTbf",
+    "REGISTRY",
+    "PolicySpec",
+    "RunSpec",
+    "ScenarioSpec",
+    "TopologySpec",
     "Cluster",
     "ClusterConfig",
     "ExperimentResult",

@@ -1,20 +1,41 @@
 """Cluster assembly and experiment driving.
 
-:mod:`repro.cluster.builder` wires clients → network → OSS/OST with the
-chosen bandwidth-control mechanism; :mod:`repro.cluster.experiment` runs a
-scenario to completion and collects the timelines and summaries the paper's
-figures are built from.
+:mod:`repro.cluster.builder` materializes a
+:class:`~repro.scenarios.spec.ScenarioSpec` into clients → network →
+OSS/OST with the chosen bandwidth-control mechanism
+(``build(spec) → ClusterTopology``); :mod:`repro.cluster.experiment`
+executes a built topology and collects the timelines and summaries the
+paper's figures are built from.
+
+The flat ``ClusterConfig`` + ``build_cluster`` / ``run_experiment``
+surface predates the declarative pipeline and remains supported for
+hand-assembled experiments.
 """
 
-from repro.cluster.builder import Cluster, ClusterConfig, Mechanism, build_cluster
-from repro.cluster.experiment import ExperimentResult, run_experiment, run_scenario
+from repro.cluster.builder import (
+    Cluster,
+    ClusterConfig,
+    ClusterTopology,
+    Mechanism,
+    build,
+    build_cluster,
+)
+from repro.cluster.experiment import (
+    ExperimentResult,
+    execute,
+    run_experiment,
+    run_scenario,
+)
 
 __all__ = [
     "Cluster",
     "ClusterConfig",
+    "ClusterTopology",
     "ExperimentResult",
     "Mechanism",
+    "build",
     "build_cluster",
+    "execute",
     "run_experiment",
     "run_scenario",
 ]

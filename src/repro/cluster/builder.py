@@ -1,8 +1,9 @@
-"""Cluster construction.
+"""Cluster construction: materialize a :class:`ScenarioSpec` into hardware.
 
-Assembles the simulated counterpart of the paper's CloudLab testbed
-(Table II): one OSS node fronting an OST, a set of client processes grouped
-into jobs, and one of three bandwidth-control mechanisms:
+:func:`build` assembles the simulated counterpart of the paper's CloudLab
+testbed (Table II) from a declarative spec: OSS nodes fronting OSTs
+(uniform or heterogeneous link rates), client processes grouped into jobs,
+and one of three bandwidth-control mechanisms:
 
 * ``Mechanism.NONE``     — *No BW*: FIFO NRS, no rate control;
 * ``Mechanism.STATIC``   — *Static BW*: TBF rules fixed at global node share;
@@ -11,17 +12,19 @@ into jobs, and one of three bandwidth-control mechanisms:
 Simulator defaults stand in for the paper's hardware: the c6525-25g OSS has
 two 480 GB SATA SSDs (~500 MiB/s each) and a 25 GbE NIC, so the OST-bandwidth
 bottleneck sits around 1 GiB/s; ``capacity_mib_s`` defaults to 1024.  Tokens
-follow the paper's convention (1 token = 1 RPC = 1 MiB payload), making the
+follow the paper's convention (1 token = 1 RPC = 1 MiB payload), making an
 OST's maximum token rate ``T_i = capacity / rpc_size``.
+
+:class:`ClusterConfig` and :func:`build_cluster` are the pre-pipeline
+imperative surface, kept for callers that assemble topology+policy knobs by
+hand; both are thin shims over the spec path.
 """
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple, Union
 
-from repro.core.ablation import VARIANTS
 from repro.core.baselines import install_static_rules
 from repro.core.framework import AdapTbf
 from repro.lustre.client import ClientProcess
@@ -29,56 +32,34 @@ from repro.lustre.network import Network
 from repro.lustre.nrs import FifoPolicy, TbfPolicy
 from repro.lustre.oss import Oss
 from repro.lustre.ost import Ost
+from repro.scenarios.spec import (
+    MIB,
+    Mechanism,
+    PolicySpec,
+    RunSpec,
+    ScenarioSpec,
+    TopologySpec,
+)
 from repro.sim.engine import Environment
 from repro.workloads.spec import JobSpec, validate_jobs
 
-__all__ = ["Mechanism", "ClusterConfig", "Cluster", "build_cluster"]
-
-MIB = 1 << 20
-
-
-class Mechanism(enum.Enum):
-    """Bandwidth-control mechanism under test (paper §IV-C)."""
-
-    NONE = "none"
-    STATIC = "static"
-    ADAPTBF = "adaptbf"
+__all__ = [
+    "Mechanism",
+    "ClusterConfig",
+    "Cluster",
+    "ClusterTopology",
+    "build",
+    "build_cluster",
+]
 
 
 @dataclass(frozen=True)
 class ClusterConfig:
-    """Cluster and mechanism parameters.
+    """Flat cluster + mechanism parameters (pre-pipeline surface).
 
-    Parameters
-    ----------
-    mechanism:
-        Which bandwidth control to install.
-    capacity_mib_s:
-        OST disk bandwidth in MiB/s (default ≈ the paper's SSD OST).
-    rpc_size:
-        Bulk RPC payload; 1 token = 1 RPC of this size.
-    io_threads:
-        OSS I/O thread count (paper node: 16 cores).
-    net_latency_s:
-        One-way client↔OSS latency.
-    interval_s:
-        AdapTBF observation period Δt (ignored by the baselines).
-    overhead_s:
-        Simulated per-round AdapTBF overhead (§IV-G measured ~25 ms; 0
-        models the paper's proposed in-Lustre integration).
-    bucket_depth:
-        TBF bucket depth for all rules.
-    variant:
-        AdapTBF algorithm variant name from
-        :data:`repro.core.ablation.VARIANTS` ("full" = the paper's design).
-    n_osts:
-        Number of (OSS, OST) pairs.  ``capacity_mib_s`` is *per OST*.
-        With AdapTBF each OST runs its own fully independent controller —
-        the paper's decentralized deployment (§II-B).
-    stripe_count:
-        OSTs per file (Lustre layout).  1 (the Lustre default) places each
-        process's file wholly on one OST, assigned round-robin; larger
-        values stripe each file's chunks across that many OSTs.
+    Every field maps onto :class:`~repro.scenarios.spec.TopologySpec` or
+    :class:`~repro.scenarios.spec.PolicySpec`; see those for semantics.
+    New code should build a :class:`ScenarioSpec` instead.
     """
 
     mechanism: Mechanism = Mechanism.ADAPTBF
@@ -92,22 +73,49 @@ class ClusterConfig:
     variant: str = "full"
     n_osts: int = 1
     stripe_count: int = 1
+    ost_capacities_mib_s: Optional[Tuple[float, ...]] = None
+    keep_history: Union[bool, int] = True
 
     def __post_init__(self) -> None:
-        if self.capacity_mib_s <= 0:
-            raise ValueError("capacity must be positive")
-        if self.rpc_size <= 0:
-            raise ValueError("rpc_size must be positive")
-        if self.variant not in VARIANTS:
-            raise ValueError(
-                f"unknown variant {self.variant!r}; options: {sorted(VARIANTS)}"
-            )
-        if self.n_osts <= 0:
-            raise ValueError("n_osts must be positive")
-        if not (1 <= self.stripe_count <= self.n_osts):
-            raise ValueError(
-                f"stripe_count must be in [1, n_osts], got {self.stripe_count}"
-            )
+        # Validation is delegated to the spec family.
+        self.topology_spec()
+        self.policy_spec()
+
+    def topology_spec(self) -> TopologySpec:
+        return TopologySpec(
+            n_osts=self.n_osts,
+            capacity_mib_s=self.capacity_mib_s,
+            ost_capacities_mib_s=self.ost_capacities_mib_s,
+            stripe_count=self.stripe_count,
+            rpc_size=self.rpc_size,
+            io_threads=self.io_threads,
+            net_latency_s=self.net_latency_s,
+        )
+
+    def policy_spec(self) -> PolicySpec:
+        return PolicySpec(
+            mechanism=self.mechanism,
+            interval_s=self.interval_s,
+            overhead_s=self.overhead_s,
+            bucket_depth=self.bucket_depth,
+            variant=self.variant,
+            keep_history=self.keep_history,
+        )
+
+    def to_spec(
+        self,
+        jobs: List[JobSpec],
+        name: str = "adhoc",
+        duration_s: Optional[float] = None,
+        bin_s: Optional[float] = None,
+    ) -> ScenarioSpec:
+        return ScenarioSpec(
+            name=name,
+            jobs=tuple(jobs),
+            topology=self.topology_spec(),
+            policy=self.policy_spec(),
+            run=RunSpec(duration_s=duration_s, bin_s=bin_s),
+        )
 
     @property
     def capacity_bps(self) -> float:
@@ -115,13 +123,13 @@ class ClusterConfig:
 
     @property
     def max_token_rate(self) -> float:
-        """``T_i``: tokens/second one OST can actually serve."""
+        """``T_i``: tokens/second one (uniform) OST can actually serve."""
         return self.capacity_bps / self.rpc_size
 
 
 @dataclass
-class Cluster:
-    """A built cluster: handles to every component of one experiment.
+class ClusterTopology:
+    """A materialized spec: handles to every component of one experiment.
 
     Single-OST accessors (``ost``, ``oss``, ``adaptbf``) refer to the first
     target and remain the convenient surface for the common one-OST
@@ -130,7 +138,7 @@ class Cluster:
     """
 
     env: Environment
-    config: ClusterConfig
+    spec: ScenarioSpec
     osts: List[Ost]
     osses: List[Oss]
     network: Network
@@ -139,6 +147,26 @@ class Cluster:
     controllers: List[AdapTbf] = field(default_factory=list)
     #: Static rule rates per OST (None unless mechanism is STATIC).
     static_rates: Optional[List[Dict[str, float]]] = None
+
+    @property
+    def config(self) -> ClusterConfig:
+        """The spec's topology+policy flattened to the legacy knob set."""
+        topo, pol = self.spec.topology, self.spec.policy
+        return ClusterConfig(
+            mechanism=pol.mechanism,
+            capacity_mib_s=topo.capacity_mib_s,
+            rpc_size=topo.rpc_size,
+            io_threads=topo.io_threads,
+            net_latency_s=topo.net_latency_s,
+            interval_s=pol.interval_s,
+            overhead_s=pol.overhead_s,
+            bucket_depth=pol.bucket_depth,
+            variant=pol.variant,
+            n_osts=topo.n_osts,
+            stripe_count=topo.stripe_count,
+            ost_capacities_mib_s=topo.ost_capacities_mib_s,
+            keep_history=pol.keep_history,
+        )
 
     @property
     def ost(self) -> Ost:
@@ -169,51 +197,58 @@ class Cluster:
         )
 
 
-def build_cluster(
-    env: Environment,
-    config: ClusterConfig,
-    jobs: List[JobSpec],
+#: Pre-pipeline name for :class:`ClusterTopology`.
+Cluster = ClusterTopology
+
+
+def build(
+    spec: ScenarioSpec,
+    env: Optional[Environment] = None,
     algorithm_factory=None,
-) -> Cluster:
-    """Assemble a cluster running ``jobs`` under ``config.mechanism``.
+) -> ClusterTopology:
+    """Materialize ``spec`` into a ready-to-run :class:`ClusterTopology`.
 
     ``algorithm_factory`` (no-arg callable returning a
     :class:`~repro.core.allocation.TokenAllocationAlgorithm`) overrides
-    ``config.variant`` — the hook for injecting custom estimators or
+    ``spec.policy.variant`` — the hook for injecting custom estimators or
     experimental allocator builds; one instance is created per OST.
     """
-    validate_jobs(jobs)
+    from repro.core.ablation import VARIANTS
     from repro.lustre.striping import StripeLayout
+
+    env = env if env is not None else Environment()
+    topology, policy = spec.topology, spec.policy
+    validate_jobs(list(spec.jobs))
 
     osts: List[Ost] = []
     osses: List[Oss] = []
-    for index in range(config.n_osts):
-        ost = Ost(env, f"OST{index:04d}", capacity_bps=config.capacity_bps)
-        if config.mechanism is Mechanism.NONE:
-            policy = FifoPolicy(env)
+    for index, capacity_mib_s in enumerate(topology.capacities_mib_s):
+        ost = Ost(env, f"OST{index:04d}", capacity_bps=capacity_mib_s * MIB)
+        if policy.mechanism is Mechanism.NONE:
+            nrs = FifoPolicy(env)
         else:
-            policy = TbfPolicy(env)
+            nrs = TbfPolicy(env)
         osts.append(ost)
-        osses.append(Oss(env, ost, policy, io_threads=config.io_threads))
-    network = Network(env, latency_s=config.net_latency_s)
+        osses.append(Oss(env, ost, nrs, io_threads=topology.io_threads))
+    network = Network(env, latency_s=topology.net_latency_s)
 
-    nodes = {job.job_id: job.nodes for job in jobs}
-    cluster = Cluster(
-        env=env, config=config, osts=osts, osses=osses, network=network
+    nodes = {job.job_id: job.nodes for job in spec.jobs}
+    cluster = ClusterTopology(
+        env=env, spec=spec, osts=osts, osses=osses, network=network
     )
 
-    if config.mechanism is Mechanism.STATIC:
+    if policy.mechanism is Mechanism.STATIC:
         cluster.static_rates = [
             install_static_rules(
                 oss.policy,
                 nodes=nodes,
-                max_token_rate=config.max_token_rate,
-                bucket_depth=config.bucket_depth,
+                max_token_rate=topology.max_token_rate(index),
+                bucket_depth=policy.bucket_depth,
             )
-            for oss in osses
+            for index, oss in enumerate(osses)
         ]
-    elif config.mechanism is Mechanism.ADAPTBF:
-        factory = algorithm_factory or VARIANTS[config.variant]
+    elif policy.mechanism is Mechanism.ADAPTBF:
+        factory = algorithm_factory or VARIANTS[policy.variant]
         # Decentralized: one controller per OST, no shared state between
         # them beyond the (static) job→nodes map.
         cluster.controllers = [
@@ -221,28 +256,29 @@ def build_cluster(
                 env,
                 oss,
                 nodes=nodes,
-                max_token_rate=config.max_token_rate,
-                interval_s=config.interval_s,
-                overhead_s=config.overhead_s,
-                bucket_depth=config.bucket_depth,
+                max_token_rate=topology.max_token_rate(index),
+                interval_s=policy.interval_s,
+                overhead_s=policy.overhead_s,
+                bucket_depth=policy.bucket_depth,
                 algorithm=factory(),
+                keep_history=policy.keep_history,
             )
-            for oss in osses
+            for index, oss in enumerate(osses)
         ]
 
     # Round-robin file placement: process k's file starts on OST
     # (k mod n_osts) and spans `stripe_count` targets, like Lustre's
     # default allocator spreading files across the cluster.
     file_counter = 0
-    for job in jobs:
+    for job in spec.jobs:
         for proc_index, proc in enumerate(job.processes):
-            start = file_counter % config.n_osts
+            start = file_counter % topology.n_osts
             file_counter += 1
             targets = [
-                osses[(start + k) % config.n_osts]
-                for k in range(config.stripe_count)
+                osses[(start + k) % topology.n_osts]
+                for k in range(topology.stripe_count)
             ]
-            layout = StripeLayout(targets, stripe_size=config.rpc_size)
+            layout = StripeLayout(targets, stripe_size=topology.rpc_size)
             cluster.clients.append(
                 ClientProcess(
                     env,
@@ -251,9 +287,19 @@ def build_cluster(
                     job_id=job.job_id,
                     client_id=f"{job.job_id}.p{proc_index}",
                     program=proc.pattern.program,
-                    rpc_size=config.rpc_size,
+                    rpc_size=topology.rpc_size,
                     window=proc.window,
                     layout=layout,
                 )
             )
     return cluster
+
+
+def build_cluster(
+    env: Environment,
+    config: ClusterConfig,
+    jobs: List[JobSpec],
+    algorithm_factory=None,
+) -> ClusterTopology:
+    """Assemble a cluster from the flat pre-pipeline knob set."""
+    return build(config.to_spec(jobs), env=env, algorithm_factory=algorithm_factory)

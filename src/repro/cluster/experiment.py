@@ -1,27 +1,37 @@
-"""Experiment driver: run one scenario under one mechanism, collect metrics.
+"""Experiment driver: execute one materialized scenario, collect metrics.
 
-``run_experiment`` is the single entry point every bench, example and
-integration test uses: it builds the cluster, attaches a
-:class:`~repro.metrics.timeline.Timeline` to the OSS completion stream, runs
-the simulation until the jobs finish (or a duration cap), and returns
-everything the paper's figures need — timelines, completion times, OST
-utilization, and (for AdapTBF) the full allocation/record history.
+:func:`execute` is the single execution path of the pipeline: given a built
+:class:`~repro.cluster.builder.ClusterTopology` it attaches a
+:class:`~repro.metrics.timeline.Timeline` to the OSS completion streams,
+runs the simulation until the jobs finish (or the spec's duration cap), and
+returns everything the paper's figures need — timelines, completion times,
+OST utilization, and (for AdapTBF) the full allocation/record history.
+
+Which of those are actually collected follows the spec's
+:class:`~repro.scenarios.spec.RunSpec.metrics`; sweeps that only need
+completion times can skip per-RPC timeline recording entirely.
+
+:func:`run_experiment` / :func:`run_scenario` are the pre-pipeline entry
+points (flat config + job list / legacy ``Scenario``), kept as thin shims.
+New code should use :func:`repro.scenarios.run_scenario`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
-from repro.cluster.builder import Cluster, ClusterConfig, build_cluster
+from repro.cluster.builder import ClusterConfig, ClusterTopology, build
 from repro.core.types import AllocationRound
 from repro.metrics.summary import BandwidthSummary, summarize
 from repro.metrics.timeline import Timeline
-from repro.sim.engine import Environment
-from repro.workloads.scenarios import Scenario
 from repro.workloads.spec import JobSpec
 
-__all__ = ["ExperimentResult", "run_experiment"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scenarios.spec import ScenarioSpec
+    from repro.workloads.scenarios import Scenario
+
+__all__ = ["ExperimentResult", "execute", "run_experiment", "run_scenario"]
 
 
 @dataclass
@@ -33,7 +43,7 @@ class ExperimentResult:
     timeline: Timeline
     summary: BandwidthSummary
     job_completion_s: Dict[str, float]
-    #: Mean utilization across all OSTs.
+    #: Mean utilization across all OSTs (0.0 unless collected).
     ost_utilization: float
     clients_finished: bool
     #: AdapTBF allocation history of the *first* OST (empty for baselines).
@@ -50,42 +60,31 @@ class ExperimentResult:
         return [(r.time, r.demands.get(job_id, 0)) for r in self.history]
 
 
-def run_experiment(
-    config: ClusterConfig,
-    jobs: List[JobSpec],
-    duration_s: Optional[float] = None,
-    bin_s: float = 0.1,
-    algorithm_factory=None,
-) -> ExperimentResult:
-    """Run ``jobs`` under ``config``; see :class:`ExperimentResult`.
+def execute(cluster: ClusterTopology) -> ExperimentResult:
+    """Run a built cluster to completion per its spec; see
+    :class:`ExperimentResult`.
 
-    Parameters
-    ----------
-    duration_s:
-        Cap on simulated time.  Without a cap the run ends when every client
-        process finishes (the §IV-D style); with one, whatever finished by
-        the deadline is measured (the §IV-E/F style, where continuous jobs
-        would otherwise dominate wall time).
-    bin_s:
-        Timeline bin width (paper: 100 ms).
-    algorithm_factory:
-        Optional override for the AdapTBF algorithm construction (see
-        :func:`~repro.cluster.builder.build_cluster`).
+    The spec's ``run.duration_s`` caps simulated time: without a cap the
+    run ends when every client process finishes (the §IV-D style); with one,
+    whatever finished by the deadline is measured (the §IV-E/F style, where
+    continuous jobs would otherwise dominate wall time).
     """
-    env = Environment()
-    cluster = build_cluster(env, config, jobs, algorithm_factory=algorithm_factory)
-    timeline = Timeline(bin_s=bin_s)
+    env = cluster.env
+    spec = cluster.spec
+    timeline = Timeline(bin_s=spec.bin_s)
 
     completion: Dict[str, float] = {}
     outstanding = {
-        job.job_id: sum(1 for _ in job.processes) for job in jobs
+        job.job_id: sum(1 for _ in job.processes) for job in spec.jobs
     }
 
-    def on_complete(rpc):
-        timeline.record_rpc(rpc)
+    if spec.run.wants("timeline"):
 
-    for oss in cluster.osses:
-        oss.on_complete(on_complete)
+        def on_complete(rpc):
+            timeline.record_rpc(rpc)
+
+        for oss in cluster.osses:
+            oss.on_complete(on_complete)
 
     # Track per-job completion: a job completes when all its processes do.
     for client in cluster.clients:
@@ -97,44 +96,68 @@ def run_experiment(
         client.process.add_callback(mark_done)
 
     done = cluster.all_clients_done()
-    if duration_s is None:
+    duration_cap = spec.run.duration_s
+    if duration_cap is None:
         env.run(until=done)
         duration = env.now
         finished = True
     else:
-        env.run(until=duration_s)
-        duration = duration_s
+        env.run(until=duration_cap)
+        duration = duration_cap
         finished = done.processed
 
-    job_ids = [job.job_id for job in jobs]
     summary = summarize(
-        mechanism=config.mechanism.value,
+        mechanism=spec.policy.mechanism.value,
         timeline=timeline,
         duration_s=duration,
-        jobs=job_ids,
+        jobs=spec.job_ids,
         job_completion_s=completion,
     )
-    histories = [list(ctrl.history) for ctrl in cluster.controllers]
+    if spec.run.wants("history"):
+        histories = [list(ctrl.history) for ctrl in cluster.controllers]
+    else:
+        histories = []
+    utilization = (
+        cluster.mean_utilization(0.0, duration)
+        if spec.run.wants("utilization")
+        else 0.0
+    )
     return ExperimentResult(
-        mechanism=config.mechanism.value,
+        mechanism=spec.policy.mechanism.value,
         duration_s=duration,
         timeline=timeline,
         summary=summary,
         job_completion_s=dict(completion),
-        ost_utilization=cluster.mean_utilization(0.0, duration),
+        ost_utilization=utilization,
         clients_finished=finished,
         history=histories[0] if histories else [],
         per_ost_histories=histories,
     )
 
 
+def run_experiment(
+    config: ClusterConfig,
+    jobs: List[JobSpec],
+    duration_s: Optional[float] = None,
+    bin_s: float = 0.1,
+    algorithm_factory=None,
+) -> ExperimentResult:
+    """Run ``jobs`` under a flat :class:`ClusterConfig` (pre-pipeline shim).
+
+    ``algorithm_factory`` optionally overrides the AdapTBF algorithm
+    construction (see :func:`~repro.cluster.builder.build`).
+    """
+    spec = config.to_spec(jobs, duration_s=duration_s, bin_s=bin_s)
+    return execute(build(spec, algorithm_factory=algorithm_factory))
+
+
 def run_scenario(
-    scenario: Scenario,
+    scenario: "Scenario",
     config: ClusterConfig,
     bin_s: float = 0.1,
     algorithm_factory=None,
 ) -> ExperimentResult:
-    """Run a prebuilt :class:`~repro.workloads.scenarios.Scenario`."""
+    """Run a legacy :class:`~repro.workloads.scenarios.Scenario` job mix."""
     return run_experiment(
         config,
         scenario.jobs,

@@ -16,7 +16,16 @@ Lustre through procfs from userspace.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional
+from collections import deque
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Mapping,
+    MutableSequence,
+    Optional,
+    Union,
+)
 
 from repro.core.rule_daemon import RuleManagementDaemon
 from repro.core.types import AllocationInput, AllocationResult, AllocationRound
@@ -52,8 +61,13 @@ class SystemStatsController:
     overhead_s:
         Simulated per-round framework overhead before rules apply.
     keep_history:
-        Record every round (time, demands, result, ledger snapshot) for
-        analysis; Fig. 7 is plotted straight from this history.
+        Round-history retention (time, demands, result, ledger snapshot per
+        round; Fig. 7 is plotted straight from this).  ``True`` — the
+        default — keeps *every* round, which is right for the paper's
+        bounded experiment windows but grows without bound on long runs
+        (~10 rounds/s at the 100 ms interval).  Pass an ``int`` to cap
+        retention to the most recent N rounds (a ``deque(maxlen=N)``), or
+        ``False`` to keep none; ``on_round`` callbacks fire either way.
     """
 
     def __init__(
@@ -66,7 +80,7 @@ class SystemStatsController:
         max_token_rate: float,
         interval_s: float = 0.1,
         overhead_s: float = 0.0,
-        keep_history: bool = True,
+        keep_history: Union[bool, int] = True,
     ) -> None:
         if interval_s <= 0:
             raise ValueError(f"interval must be positive, got {interval_s}")
@@ -86,7 +100,15 @@ class SystemStatsController:
         self.interval_s = float(interval_s)
         self.overhead_s = float(overhead_s)
         self.keep_history = keep_history
-        self.history: List[AllocationRound] = []
+        self.history: MutableSequence[AllocationRound]
+        if keep_history is True or keep_history is False:
+            self.history = []
+        else:
+            if keep_history <= 0:
+                raise ValueError(
+                    f"keep_history cap must be positive, got {keep_history}"
+                )
+            self.history = deque(maxlen=keep_history)
         self._on_round: List[Callable[[AllocationRound], None]] = []
         self.process = env.process(self._loop(), name="adaptbf.controller")
 

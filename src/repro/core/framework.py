@@ -9,7 +9,7 @@ OSS/OST, so a multi-target deployment is simply one instance per target.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Mapping
+from typing import TYPE_CHECKING, Dict, List, Mapping, Sequence
 
 from repro.core.allocation import TokenAllocationAlgorithm
 from repro.core.controller import SystemStatsController
@@ -49,6 +49,10 @@ class AdapTbf:
         TBF bucket depth for managed rules.
     algorithm:
         Optionally inject a pre-configured/ablated allocation algorithm.
+    keep_history:
+        Controller round-history retention: ``True`` keeps every round
+        (default), an ``int`` caps to the most recent N rounds, ``False``
+        keeps none.  See :class:`~repro.core.controller.SystemStatsController`.
     """
 
     def __init__(
@@ -61,6 +65,7 @@ class AdapTbf:
         overhead_s: float = 0.0,
         bucket_depth: float = DEFAULT_BUCKET_DEPTH,
         algorithm: TokenAllocationAlgorithm | None = None,
+        keep_history: bool | int = True,
     ) -> None:
         if not isinstance(oss.policy, TbfPolicy):
             raise TypeError(
@@ -80,12 +85,13 @@ class AdapTbf:
             max_token_rate=max_token_rate,
             interval_s=interval_s,
             overhead_s=overhead_s,
+            keep_history=keep_history,
         )
 
     # -- convenience passthroughs ------------------------------------------------
     @property
-    def history(self) -> List[AllocationRound]:
-        """All allocation rounds so far (Fig. 7 is plotted from this)."""
+    def history(self) -> Sequence[AllocationRound]:
+        """Retained allocation rounds (Fig. 7 is plotted from this)."""
         return self.controller.history
 
     @property

@@ -16,9 +16,16 @@ Module                          Paper artefact
 :mod:`repro.experiments.overhead`    §IV-G framework overhead analysis
 ==============================  ==============================================
 
+Every adapter is a thin layer over the declarative scenario pipeline
+(:mod:`repro.scenarios`): the workload is lifted into a ``ScenarioSpec``
+and executed once per mechanism via ``run_mechanisms``.  The unified CLI —
+``python -m repro.experiments run <scenario|figN> / list / describe`` —
+reaches both the figure adapters and every registered scenario.
+
 Scale: by default experiments run a reduced configuration (≈1/16 data,
 ≈1/10 time) that finishes in seconds and preserves every qualitative shape;
-set ``REPRO_FULL=1`` to run the paper's full-size configuration.
+set ``REPRO_FULL=1`` (or pass ``--full``) to run the paper's full-size
+configuration.
 """
 
 from repro.experiments.common import (

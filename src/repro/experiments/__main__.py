@@ -1,38 +1,94 @@
-"""Command-line experiment runner.
+"""Unified experiment CLI over the scenario registry.
 
 Usage::
 
-    python -m repro.experiments fig3            # E1 (Fig. 3-4) report
-    python -m repro.experiments fig5 --full     # E2 at paper scale
-    python -m repro.experiments fig7 --csv out/ # E3 + CSV export
-    python -m repro.experiments fig9
-    python -m repro.experiments overhead
-    python -m repro.experiments all             # everything, in order
+    python -m repro.experiments list                    # everything runnable
+    python -m repro.experiments describe burst-storm    # spec + parameters
+    python -m repro.experiments run quickstart --duration 2
+    python -m repro.experiments run burst-storm --param n_jobs=10 --param seed=7
+    python -m repro.experiments run fig3                # E1 (Fig. 3-4) report
+    python -m repro.experiments run fig5 --full         # E2 at paper scale
+    python -m repro.experiments run fig7 --csv out/     # E3 + CSV export
+    python -m repro.experiments run all                 # every figure, in order
 
-Exit status is non-zero if any shape check fails, so the runner doubles as
-a reproduction gate in CI.
+Figure names (``fig3`` … ``fig9``, ``overhead``, ``all``) invoke the paper's
+reproduction adapters — the three-mechanism comparison, report and shape
+checks for that figure; the bare legacy form
+``python -m repro.experiments fig3`` still works.  Any other name is looked
+up in the scenario registry, built with ``--param k=v`` overrides, and run
+through the declarative pipeline.
+
+Exit status is non-zero if any figure shape check fails, so the runner
+doubles as a reproduction gate in CI.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from typing import Dict, List, Optional
 
 from repro.experiments import fig3_fig4, fig5_fig6, fig7_fig8, fig9, overhead
 from repro.experiments.common import bench_scale, full_scale
 from repro.metrics.export import export_all
+from repro.metrics.report import format_run_report
+from repro.scenarios import REGISTRY, run_scenario
+from repro.workloads.scenarios import ScenarioConfig
 
-FIGURE_EXPERIMENTS = {
-    "fig3": fig3_fig4,
-    "fig4": fig3_fig4,
-    "fig5": fig5_fig6,
-    "fig6": fig5_fig6,
-    "fig7": fig7_fig8,
-    "fig8": fig7_fig8,
+#: Figure name → (adapter module, registered scenario the workload comes from).
+FIGURE_ADAPTERS = {
+    "fig3": (fig3_fig4, "allocation"),
+    "fig4": (fig3_fig4, "allocation"),
+    "fig5": (fig5_fig6, "redistribution"),
+    "fig6": (fig5_fig6, "redistribution"),
+    "fig7": (fig7_fig8, "recompensation"),
+    "fig8": (fig7_fig8, "recompensation"),
+    "fig9": (fig9, "recompensation"),
 }
 
+#: ScenarioConfig fields figure adapters accept via --param.
+FIGURE_SCALE_PARAMS = ("data_scale", "time_scale", "heavy_procs", "window")
 
-def _run_figure(module, name: str, scale, csv_dir) -> bool:
+LEGACY_COMMANDS = set(FIGURE_ADAPTERS) | {"overhead", "all"}
+
+
+def _split_params(pairs: Optional[List[str]]) -> Dict[str, str]:
+    params: Dict[str, str] = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise SystemExit(f"--param expects k=v, got {pair!r}")
+        key, value = pair.split("=", 1)
+        params[key.strip()] = value.strip()
+    return params
+
+
+def _figure_scale(args, params: Dict[str, str]) -> ScenarioConfig:
+    base = full_scale() if args.full else bench_scale()
+    overrides = {}
+    for key in FIGURE_SCALE_PARAMS:
+        if key in params:
+            default = getattr(base, key)
+            raw = params.pop(key)
+            try:
+                overrides[key] = type(default)(raw)
+            except ValueError:
+                raise SystemExit(
+                    f"parameter {key!r}: expected {type(default).__name__}, "
+                    f"got {raw!r}"
+                ) from None
+    if params:
+        raise SystemExit(
+            f"figure adapters accept only {FIGURE_SCALE_PARAMS} as --param; "
+            f"got {sorted(params)}"
+        )
+    if not overrides:
+        return base
+    import dataclasses
+
+    return dataclasses.replace(base, **overrides)
+
+
+def _run_figure(name: str, module, scale, csv_dir) -> bool:
     comparison = module.run(scale)
     print(module.report(comparison))
     if csv_dir:
@@ -53,54 +109,184 @@ def _run_overhead() -> bool:
     return all(check.passed for check in overhead.check_shapes(result))
 
 
+def _run_figures(name: str, args, params: Dict[str, str]) -> bool:
+    if args.duration is not None or args.mechanism is not None:
+        raise SystemExit(
+            "--duration/--mechanism apply to registered scenarios; figure "
+            "adapters always run their paper-defined duration under all "
+            "three mechanisms (scale them with --param time_scale=...)"
+        )
+    if name == "overhead" and (args.full or params):
+        raise SystemExit(
+            "overhead times the allocation algorithm directly and takes "
+            "no --full or --param options"
+        )
+    scale = _figure_scale(args, params)
+    if name == "all":
+        ok = True
+        seen = []
+        for fig_name, (module, _) in FIGURE_ADAPTERS.items():
+            if module is fig9 or module in seen:
+                continue
+            seen.append(module)
+            ok &= _run_figure(fig_name, module, scale, args.csv)
+            print()
+        ok &= _run_fig9(scale, args.csv)
+        print()
+        ok &= _run_overhead()
+        return ok
+    if name == "fig9":
+        return _run_fig9(scale, args.csv)
+    if name == "overhead":
+        return _run_overhead()
+    module, _ = FIGURE_ADAPTERS[name]
+    return _run_figure(name, module, scale, args.csv)
+
+
+def _run_registered(name: str, args, params: Dict[str, str]) -> bool:
+    try:
+        spec = REGISTRY.build(name, **REGISTRY.coerce(name, params))
+        if args.duration is not None:
+            spec = spec.with_run(duration_s=args.duration)
+        if args.mechanism is not None:
+            spec = spec.with_policy(mechanism=args.mechanism)
+    except (KeyError, ValueError) as exc:
+        # KeyError's str() wraps the message in repr quotes; unwrap it.
+        raise SystemExit(exc.args[0] if exc.args else str(exc)) from None
+    result = run_scenario(spec)
+    print(format_run_report(result))
+    if args.csv:
+        written = export_all(
+            {result.mechanism: result}, args.csv, prefix=spec.name
+        )
+        print(f"\nCSV written: {', '.join(str(p) for p in written.values())}")
+    return True
+
+
+def _cmd_run(args) -> int:
+    name = args.scenario.lower().replace("_", "-")
+    params = _split_params(args.param)
+    if name.replace("-", "") in LEGACY_COMMANDS:
+        ok = _run_figures(name.replace("-", ""), args, params)
+    else:
+        if args.full:
+            raise SystemExit(
+                "--full applies to figure adapters; use "
+                "--param data_scale=1 --param time_scale=1 instead"
+            )
+        ok = _run_registered(name, args, params)
+    if not ok:
+        print("\nSOME SHAPE CHECKS FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    print("figure adapters (paper reproduction, 3-mechanism comparison):")
+    seen = {}
+    for name, (module, scenario) in FIGURE_ADAPTERS.items():
+        seen.setdefault(module, []).append((name, scenario))
+    for module, names in seen.items():
+        joined = "/".join(n for n, _ in names)
+        doc = (module.__doc__ or "").strip().split("\n")[0]
+        print(f"  {joined:18s} {doc}")
+    print(f"  {'overhead':18s} §IV-G allocation-overhead timing (no cluster)")
+    print(f"  {'all':18s} every figure adapter in order")
+    print()
+    print("registered scenarios (single run through the pipeline):")
+    for name in REGISTRY.names():
+        entry = REGISTRY.get(name)
+        print(f"  {name:18s} {entry.description}")
+    print()
+    print(
+        "run with: python -m repro.experiments run <name> [--param k=v ...]"
+    )
+    return 0
+
+
+def _cmd_describe(args) -> int:
+    name = args.scenario.lower().replace("_", "-")
+    fig_key = name.replace("-", "")
+    if fig_key in FIGURE_ADAPTERS:
+        module, scenario = FIGURE_ADAPTERS[fig_key]
+        doc = (module.__doc__ or "").strip().split("\n")[0]
+        print(f"{fig_key}: {doc}")
+        print(
+            f"Runs the registered scenario {scenario!r} under all three "
+            "mechanisms (none/static/adaptbf) and verifies the paper's "
+            "shape claims.\n"
+            "As a figure adapter it accepts only "
+            f"--param {'/'.join(FIGURE_SCALE_PARAMS)} (plus --full); the "
+            "parameters listed below apply to `run "
+            f"{scenario}` only.\n"
+        )
+        name = scenario
+    elif fig_key == "overhead":
+        print((overhead.__doc__ or "").strip())
+        return 0
+    try:
+        print(REGISTRY.describe(name))
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(exc.args[0] if exc.args else str(exc)) from None
+    return 0
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Pre-pipeline invocation style: `python -m repro.experiments fig3 --full`.
+    if argv and argv[0] in LEGACY_COMMANDS:
+        argv = ["run"] + argv
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Regenerate the AdapTBF paper's evaluation artefacts.",
+        description="Run AdapTBF scenarios and regenerate the paper's "
+        "evaluation artefacts.",
     )
-    parser.add_argument(
-        "experiment",
-        choices=sorted(set(FIGURE_EXPERIMENTS) | {"fig9", "overhead", "all"}),
-        help="which paper artefact to regenerate",
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run a scenario or figure experiment")
+    run_p.add_argument("scenario", help="registered scenario or figN/overhead/all")
+    run_p.add_argument(
+        "--param",
+        action="append",
+        metavar="K=V",
+        help="override a scenario parameter (repeatable; see `describe`)",
     )
-    parser.add_argument(
+    run_p.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="cap simulated duration in seconds (registered scenarios)",
+    )
+    run_p.add_argument(
+        "--mechanism",
+        choices=("none", "static", "adaptbf"),
+        default=None,
+        help="override the bandwidth-control mechanism (registered scenarios)",
+    )
+    run_p.add_argument(
         "--full",
         action="store_true",
-        help="run the paper-size configuration (default: 1/10 scale)",
+        help="figure adapters: run the paper-size configuration "
+        "(default: 1/10 scale)",
     )
-    parser.add_argument(
+    run_p.add_argument(
         "--csv",
         metavar="DIR",
         default=None,
         help="export the underlying data as CSV into DIR",
     )
+    run_p.set_defaults(handler=_cmd_run)
+
+    list_p = sub.add_parser("list", help="list runnable scenarios")
+    list_p.set_defaults(handler=_cmd_list)
+
+    desc_p = sub.add_parser("describe", help="show a scenario's spec and params")
+    desc_p.add_argument("scenario")
+    desc_p.set_defaults(handler=_cmd_describe)
+
     args = parser.parse_args(argv)
-    scale = full_scale() if args.full else bench_scale()
-
-    ok = True
-    if args.experiment == "all":
-        seen = []
-        for name, module in FIGURE_EXPERIMENTS.items():
-            if module in seen:
-                continue
-            seen.append(module)
-            ok &= _run_figure(module, name, scale, args.csv)
-            print()
-        ok &= _run_fig9(scale, args.csv)
-        print()
-        ok &= _run_overhead()
-    elif args.experiment == "fig9":
-        ok = _run_fig9(scale, args.csv)
-    elif args.experiment == "overhead":
-        ok = _run_overhead()
-    else:
-        module = FIGURE_EXPERIMENTS[args.experiment]
-        ok = _run_figure(module, args.experiment, scale, args.csv)
-
-    if not ok:
-        print("\nSOME SHAPE CHECKS FAILED", file=sys.stderr)
-        return 1
-    return 0
+    return args.handler(args)
 
 
 if __name__ == "__main__":

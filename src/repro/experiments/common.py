@@ -1,20 +1,34 @@
-"""Shared plumbing for the per-figure experiment modules."""
+"""Shared plumbing for the per-figure experiment modules.
+
+Every figure adapter runs through the declarative pipeline: the workload
+(a registered scenario or a legacy job mix) is lifted into a
+:class:`~repro.scenarios.spec.ScenarioSpec` and executed once per
+mechanism via :func:`repro.scenarios.runner.run_mechanisms`.
+"""
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
-from repro.cluster.builder import ClusterConfig, Mechanism
-from repro.cluster.experiment import ExperimentResult, run_scenario
 from repro.metrics.summary import BandwidthSummary, gains_versus
 from repro.metrics.tables import format_gains, format_series, format_table
-from repro.workloads.scenarios import Scenario, ScenarioConfig
+from repro.scenarios.runner import RunResult, run_mechanisms
+from repro.scenarios.spec import (
+    Mechanism,
+    PolicySpec,
+    RunSpec,
+    ScenarioSpec,
+    TopologySpec,
+    from_scenario,
+)
+from repro.workloads.scenarios import BENCH_SCALE, Scenario, ScenarioConfig
 
 __all__ = [
     "bench_scale",
     "full_scale",
+    "as_spec",
     "MechanismComparison",
     "compare_mechanisms",
 ]
@@ -39,26 +53,52 @@ def bench_scale() -> ScenarioConfig:
     """
     if os.environ.get("REPRO_FULL"):
         return full_scale()
-    return ScenarioConfig(data_scale=1 / 10, time_scale=1 / 10)
+    return ScenarioConfig(data_scale=BENCH_SCALE, time_scale=BENCH_SCALE)
+
+
+def as_spec(
+    scenario: Union[Scenario, ScenarioSpec],
+    interval_s: float = 0.1,
+    capacity_mib_s: float = 1024.0,
+    overhead_s: float = 0.0,
+    variant: str = "full",
+    bin_s: Optional[float] = None,
+) -> ScenarioSpec:
+    """Lift a workload into a spec with the figure-standard knob set.
+
+    A :class:`ScenarioSpec` passes through unchanged (its own topology,
+    policy and run settings win); a legacy :class:`Scenario` job mix gets
+    the single-OST topology and the given policy knobs.
+    """
+    if isinstance(scenario, ScenarioSpec):
+        return scenario
+    return from_scenario(
+        scenario,
+        topology=TopologySpec(capacity_mib_s=capacity_mib_s),
+        policy=PolicySpec(
+            interval_s=interval_s, overhead_s=overhead_s, variant=variant
+        ),
+        run=RunSpec(duration_s=scenario.duration_s, bin_s=bin_s),
+    )
 
 
 @dataclass
 class MechanismComparison:
     """Results of one scenario run under all three mechanisms."""
 
-    scenario: Scenario
-    results: Dict[str, ExperimentResult]  # keyed by Mechanism.value
+    scenario: Union[Scenario, ScenarioSpec]
+    results: Dict[str, RunResult]  # keyed by Mechanism.value
 
     @property
-    def none(self) -> ExperimentResult:
+    def none(self) -> RunResult:
         return self.results[Mechanism.NONE.value]
 
     @property
-    def static(self) -> ExperimentResult:
+    def static(self) -> RunResult:
         return self.results[Mechanism.STATIC.value]
 
     @property
-    def adaptbf(self) -> ExperimentResult:
+    def adaptbf(self) -> RunResult:
         return self.results[Mechanism.ADAPTBF.value]
 
     @property
@@ -98,7 +138,7 @@ class MechanismComparison:
 
 
 def compare_mechanisms(
-    scenario: Scenario,
+    scenario: Union[Scenario, ScenarioSpec],
     interval_s: float = 0.1,
     capacity_mib_s: float = 1024.0,
     overhead_s: float = 0.0,
@@ -107,16 +147,14 @@ def compare_mechanisms(
     bin_s: Optional[float] = None,
 ) -> MechanismComparison:
     """Run ``scenario`` under each mechanism with otherwise equal hardware."""
-    results: Dict[str, ExperimentResult] = {}
-    for mechanism in mechanisms:
-        config = ClusterConfig(
-            mechanism=mechanism,
-            capacity_mib_s=capacity_mib_s,
-            interval_s=interval_s,
-            overhead_s=overhead_s,
-            variant=variant,
-        )
-        results[mechanism.value] = run_scenario(
-            scenario, config, bin_s=bin_s if bin_s is not None else interval_s
-        )
-    return MechanismComparison(scenario=scenario, results=results)
+    spec = as_spec(
+        scenario,
+        interval_s=interval_s,
+        capacity_mib_s=capacity_mib_s,
+        overhead_s=overhead_s,
+        variant=variant,
+        bin_s=bin_s,
+    )
+    return MechanismComparison(
+        scenario=scenario, results=run_mechanisms(spec, mechanisms)
+    )

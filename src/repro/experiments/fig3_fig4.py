@@ -11,6 +11,10 @@ completion under each mechanism.  The paper's observations, which
   high-priority jobs 3 and 4 (Fig. 4a);
 * versus No BW, jobs 3/4 gain significantly while jobs 1/2 lose only
   mildly (Fig. 4b).
+
+The workload is the registered ``allocation`` scenario; this module is the
+thin plotting adapter running it under all three mechanisms through the
+declarative pipeline (``python -m repro.experiments run fig3``).
 """
 
 from __future__ import annotations

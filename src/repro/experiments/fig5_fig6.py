@@ -10,6 +10,10 @@ observations, verified by :func:`check_shapes`:
 * AdapTBF lends idle tokens to the hog *and* serves bursts promptly, so
   jobs 1–3 gain versus both baselines while job 4 is limited by its low
   priority (Fig. 6b).
+
+The workload is the registered ``redistribution`` scenario; this module is
+the thin plotting adapter running it under all three mechanisms through
+the declarative pipeline (``python -m repro.experiments run fig5``).
 """
 
 from __future__ import annotations

@@ -14,6 +14,10 @@ Outputs:
   Static BW significantly degraded;
 * Fig. 8(b) — AdapTBF gains for jobs 1–3 vs both baselines, minimal loss
   for job 4 vs No BW.
+
+The workload is the registered ``recompensation`` scenario; this module is
+the thin plotting adapter running it under all three mechanisms through
+the declarative pipeline (``python -m repro.experiments run fig7``).
 """
 
 from __future__ import annotations

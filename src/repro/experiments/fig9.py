@@ -13,10 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.cluster.builder import ClusterConfig, Mechanism
-from repro.cluster.experiment import ExperimentResult, run_scenario
-from repro.experiments.common import bench_scale
+from repro.experiments.common import as_spec, bench_scale
 from repro.metrics.tables import format_table
+from repro.scenarios.runner import RunResult, run_scenario
 from repro.workloads.scenarios import ScenarioConfig, scenario_recompensation
 
 __all__ = ["run", "report", "check_shapes", "PAPER_INTERVALS_S"]
@@ -30,7 +29,7 @@ class FrequencySweep:
     """Aggregate throughput per allocation interval."""
 
     intervals_s: List[float]
-    results: Dict[float, ExperimentResult]
+    results: Dict[float, RunResult]
 
     def aggregate(self, interval_s: float) -> float:
         return self.results[interval_s].summary.aggregate_mib_s
@@ -50,18 +49,17 @@ def run(
 ) -> FrequencySweep:
     """Sweep the AdapTBF observation period over the §IV-F workload."""
     cfg = scenario_cfg or bench_scale()
-    results: Dict[float, ExperimentResult] = {}
+    results: Dict[float, RunResult] = {}
     scaled: List[float] = []
     for paper_interval in intervals_s:
         interval = paper_interval * cfg.time_scale
         scaled.append(interval)
-        scenario = scenario_recompensation(cfg)
-        config = ClusterConfig(
-            mechanism=Mechanism.ADAPTBF,
-            capacity_mib_s=capacity_mib_s,
+        spec = as_spec(
+            scenario_recompensation(cfg),
             interval_s=interval,
+            capacity_mib_s=capacity_mib_s,
         )
-        results[interval] = run_scenario(scenario, config, bin_s=interval)
+        results[interval] = run_scenario(spec)
     return FrequencySweep(intervals_s=scaled, results=results)
 
 

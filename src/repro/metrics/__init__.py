@@ -8,6 +8,7 @@
   by the benchmark harness to print the rows the paper reports.
 """
 
+from repro.metrics.report import format_run_report
 from repro.metrics.summary import BandwidthSummary, gains_versus, summarize
 from repro.metrics.tables import format_series, format_table
 from repro.metrics.timeline import Timeline
@@ -15,6 +16,7 @@ from repro.metrics.timeline import Timeline
 __all__ = [
     "BandwidthSummary",
     "Timeline",
+    "format_run_report",
     "format_series",
     "format_table",
     "gains_versus",

@@ -1,0 +1,68 @@
+"""Generic scenario-run reporting.
+
+The figure adapters format paper-specific tables; everything else — new
+registered scenarios, ad-hoc CLI runs, sweeps — shares this one renderer,
+which turns a :class:`~repro.scenarios.runner.RunResult` into the standard
+text block: spec header, per-job achieved bandwidth/share/completion,
+aggregate, utilization, and the controller's final ledger.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.metrics.tables import format_table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scenarios.runner import RunResult
+
+__all__ = ["format_run_report"]
+
+
+def format_run_report(result: "RunResult") -> str:
+    """Render one pipeline run as a plain-text report."""
+    spec = result.spec
+    parts = []
+    if spec is not None:
+        parts += [spec.describe(), ""]
+
+    summary = result.summary
+    aggregate = summary.aggregate_mib_s
+    job_ids = spec.job_ids if spec is not None else sorted(summary.per_job_mib_s)
+    mib = 1 << 20
+    rows = []
+    for job in job_ids:
+        done = result.job_completion_s.get(job)
+        rows.append(
+            [
+                job,
+                f"{summary.job(job):.1f}",
+                f"{result.timeline.total_bytes(job) / mib:.0f}",
+                f"{done:.2f}" if done is not None else "-",
+            ]
+        )
+    parts.append(
+        format_table(
+            ["job", "MiB/s", "MiB_written", "completed_s"],
+            rows,
+            title=f"achieved bandwidth ({result.mechanism})",
+        )
+    )
+    parts.append("")
+    parts.append(
+        f"aggregate: {aggregate:.1f} MiB/s over {result.duration_s:.2f}s "
+        f"simulated; mean OST utilization {result.ost_utilization:.2f}; "
+        f"all clients finished: {result.clients_finished}"
+    )
+    if result.per_ost_histories:
+        rounds = ", ".join(
+            f"OST{i:04d}: {len(h)}" for i, h in enumerate(result.per_ost_histories)
+        )
+        parts.append(f"controller rounds per OST: {rounds}")
+        final = result.history[-1].records if result.history else {}
+        if final:
+            ledger = ", ".join(
+                f"{job}: {tokens:+d}" for job, tokens in sorted(final.items())
+            )
+            parts.append(f"final lending ledger (first OST): {ledger}")
+    return "\n".join(parts)

@@ -1,0 +1,344 @@
+"""Built-in scenario registrations.
+
+Every workload the repository knows — the paper's evaluation scenarios
+(§IV-D/E/F), the example setups, and scenarios the old per-figure scripts
+could not express (seeded burst storms, elastic job churn, heterogeneous
+OST capacities) — registered in the default
+:data:`~repro.scenarios.registry.REGISTRY`.
+
+Factory defaults target the *reduced* bench scale so a CLI run finishes in
+seconds; pass ``data_scale=1 time_scale=1`` (or the figure adapters'
+``--full``) for the paper-size configuration.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.registry import REGISTRY
+from repro.scenarios.spec import (
+    MIB,
+    PolicySpec,
+    RunSpec,
+    ScenarioSpec,
+    TopologySpec,
+    from_scenario,
+)
+from repro.workloads.scenarios import (
+    BENCH_SCALE,
+    ScenarioConfig,
+    scenario_allocation,
+    scenario_burst_storm,
+    scenario_elastic_churn,
+    scenario_recompensation,
+    scenario_redistribution,
+)
+from repro.workloads.spec import JobSpec, ProcessSpec
+from repro.workloads.patterns import SequentialWritePattern
+
+__all__ = ["REGISTRY"]
+
+def _cfg(
+    data_scale: float,
+    time_scale: float,
+    heavy_procs: int = 16,
+    window: int = 8,
+    capacity_mib_s: float = 1024.0,
+) -> ScenarioConfig:
+    return ScenarioConfig(
+        data_scale=data_scale,
+        time_scale=time_scale,
+        heavy_procs=heavy_procs,
+        window=window,
+        capacity_hint_mib_s=capacity_mib_s,
+    )
+
+
+def _policy(
+    mechanism: str, interval_s: float, overhead_s: float, variant: str
+) -> PolicySpec:
+    return PolicySpec(
+        mechanism=mechanism,
+        interval_s=interval_s,
+        overhead_s=overhead_s,
+        variant=variant,
+    )
+
+
+@REGISTRY.register(
+    "quickstart",
+    description="2 competing jobs (4-node science vs 1-node hog) on one OST",
+)
+def _quickstart(
+    file_mib: float = 256.0,
+    procs: int = 4,
+    science_nodes: int = 4,
+    capacity_mib_s: float = 1024.0,
+    mechanism: str = "adaptbf",
+    interval_s: float = 0.1,
+    duration: float = 0.0,
+) -> ScenarioSpec:
+    jobs = (
+        JobSpec(
+            job_id="science",
+            nodes=science_nodes,
+            processes=tuple(
+                ProcessSpec(SequentialWritePattern(int(file_mib * MIB)))
+                for _ in range(procs)
+            ),
+        ),
+        JobSpec(
+            job_id="hog",
+            nodes=1,
+            processes=tuple(
+                ProcessSpec(SequentialWritePattern(int(file_mib * MIB)))
+                for _ in range(procs)
+            ),
+        ),
+    )
+    return ScenarioSpec(
+        name="quickstart",
+        jobs=jobs,
+        topology=TopologySpec(capacity_mib_s=capacity_mib_s),
+        policy=PolicySpec(mechanism=mechanism, interval_s=interval_s),
+        run=RunSpec(duration_s=duration or None),
+        description=(
+            f"{science_nodes}-node 'science' vs 1-node 'hog', "
+            f"{procs} writers each"
+        ),
+    )
+
+
+@REGISTRY.register(
+    "allocation",
+    description="§IV-D (Fig. 3-4): 4 identical jobs, priorities 10/10/30/50%",
+)
+def _allocation(
+    data_scale: float = BENCH_SCALE,
+    time_scale: float = BENCH_SCALE,
+    heavy_procs: int = 16,
+    window: int = 8,
+    capacity_mib_s: float = 1024.0,
+    mechanism: str = "adaptbf",
+    interval_s: float = 0.1,
+    overhead_s: float = 0.0,
+    variant: str = "full",
+) -> ScenarioSpec:
+    cfg = _cfg(data_scale, time_scale, heavy_procs, window, capacity_mib_s)
+    return from_scenario(
+        scenario_allocation(cfg),
+        topology=TopologySpec(capacity_mib_s=capacity_mib_s),
+        policy=_policy(mechanism, interval_s, overhead_s, variant),
+    )
+
+
+@REGISTRY.register(
+    "redistribution",
+    description="§IV-E (Fig. 5-6): 3 bursty 30% jobs vs a 10% continuous hog",
+)
+def _redistribution(
+    data_scale: float = BENCH_SCALE,
+    time_scale: float = BENCH_SCALE,
+    heavy_procs: int = 16,
+    window: int = 8,
+    capacity_mib_s: float = 1024.0,
+    mechanism: str = "adaptbf",
+    interval_s: float = 0.1,
+    overhead_s: float = 0.0,
+    variant: str = "full",
+) -> ScenarioSpec:
+    cfg = _cfg(data_scale, time_scale, heavy_procs, window, capacity_mib_s)
+    return from_scenario(
+        scenario_redistribution(cfg),
+        topology=TopologySpec(capacity_mib_s=capacity_mib_s),
+        policy=_policy(mechanism, interval_s, overhead_s, variant),
+    )
+
+
+@REGISTRY.register(
+    "recompensation",
+    description="§IV-F (Fig. 7-8): equal priorities, 20/50/80s delayed streams",
+)
+def _recompensation(
+    data_scale: float = BENCH_SCALE,
+    time_scale: float = BENCH_SCALE,
+    heavy_procs: int = 16,
+    window: int = 8,
+    capacity_mib_s: float = 1024.0,
+    mechanism: str = "adaptbf",
+    interval_s: float = 0.1,
+    overhead_s: float = 0.0,
+    variant: str = "full",
+) -> ScenarioSpec:
+    cfg = _cfg(data_scale, time_scale, heavy_procs, window, capacity_mib_s)
+    return from_scenario(
+        scenario_recompensation(cfg),
+        topology=TopologySpec(capacity_mib_s=capacity_mib_s),
+        policy=_policy(mechanism, interval_s, overhead_s, variant),
+    )
+
+
+@REGISTRY.register(
+    "multiost",
+    description="decentralized control: files spread over several OSTs (§II-B)",
+)
+def _multiost(
+    n_osts: int = 4,
+    stripe_count: int = 2,
+    capacity_mib_s: float = 256.0,
+    file_mib: float = 512.0,
+    procs: int = 8,
+    science_nodes: int = 6,
+    mechanism: str = "adaptbf",
+    interval_s: float = 0.1,
+    duration: float = 3.0,
+) -> ScenarioSpec:
+    jobs = (
+        JobSpec(
+            job_id="simulation",
+            nodes=science_nodes,
+            processes=tuple(
+                ProcessSpec(SequentialWritePattern(int(file_mib * MIB)))
+                for _ in range(procs)
+            ),
+        ),
+        JobSpec(
+            job_id="hog",
+            nodes=1,
+            processes=tuple(
+                ProcessSpec(SequentialWritePattern(int(file_mib * MIB)))
+                for _ in range(procs)
+            ),
+        ),
+    )
+    return ScenarioSpec(
+        name="multiost",
+        jobs=jobs,
+        topology=TopologySpec(
+            n_osts=n_osts,
+            stripe_count=stripe_count,
+            capacity_mib_s=capacity_mib_s,
+        ),
+        policy=PolicySpec(mechanism=mechanism, interval_s=interval_s),
+        run=RunSpec(duration_s=duration or None),
+        description=(
+            f"{science_nodes}-node job striped over {n_osts} OSTs "
+            f"(stripe_count={stripe_count}) vs a 1-node hog; one independent "
+            "controller per OST"
+        ),
+    )
+
+
+@REGISTRY.register(
+    "burst-storm",
+    description="NEW: seeded many-tenant storm of mixed-priority bursts",
+)
+def _burst_storm(
+    n_jobs: int = 6,
+    seed: int = 0,
+    duration_s: float = 40.0,
+    with_hog: bool = True,
+    data_scale: float = BENCH_SCALE,
+    time_scale: float = BENCH_SCALE,
+    capacity_mib_s: float = 1024.0,
+    mechanism: str = "adaptbf",
+    interval_s: float = 0.1,
+) -> ScenarioSpec:
+    cfg = _cfg(data_scale, time_scale, capacity_mib_s=capacity_mib_s)
+    scenario = scenario_burst_storm(
+        cfg, n_jobs=n_jobs, seed=seed, duration_s=duration_s, with_hog=with_hog
+    )
+    return from_scenario(
+        scenario,
+        topology=TopologySpec(capacity_mib_s=capacity_mib_s),
+        policy=PolicySpec(mechanism=mechanism, interval_s=interval_s),
+        run=RunSpec(duration_s=scenario.duration_s, seed=seed),
+    )
+
+
+@REGISTRY.register(
+    "elastic-churn",
+    description="NEW: waves of jobs arriving and departing (elastic tenancy)",
+)
+def _elastic_churn(
+    waves: int = 3,
+    jobs_per_wave: int = 2,
+    wave_gap_s: float = 8.0,
+    file_mib: float = 192.0,
+    seed: int = 0,
+    data_scale: float = BENCH_SCALE,
+    time_scale: float = BENCH_SCALE,
+    capacity_mib_s: float = 1024.0,
+    mechanism: str = "adaptbf",
+    interval_s: float = 0.1,
+) -> ScenarioSpec:
+    cfg = _cfg(data_scale, time_scale, capacity_mib_s=capacity_mib_s)
+    scenario = scenario_elastic_churn(
+        cfg,
+        waves=waves,
+        jobs_per_wave=jobs_per_wave,
+        wave_gap_s=wave_gap_s,
+        file_mib=file_mib,
+        seed=seed,
+    )
+    return from_scenario(
+        scenario,
+        topology=TopologySpec(capacity_mib_s=capacity_mib_s),
+        policy=PolicySpec(mechanism=mechanism, interval_s=interval_s),
+        run=RunSpec(duration_s=None, seed=seed),
+    )
+
+
+@REGISTRY.register(
+    "hetero-osts",
+    description="NEW: heterogeneous OST capacities (fast SSD + slow HDD tiers)",
+)
+def _hetero_osts(
+    capacities: str = "1024,512,256,128",
+    stripe_count: int = 1,
+    file_mib: float = 96.0,
+    procs: int = 4,
+    science_nodes: int = 4,
+    mechanism: str = "adaptbf",
+    interval_s: float = 0.1,
+    duration: float = 4.0,
+) -> ScenarioSpec:
+    """Mixed-speed storage tiers, one independent controller per tier.
+
+    The pre-pipeline builder only knew a single scalar capacity, so a
+    cluster mixing SSD- and HDD-class OSTs was inexpressible.  Files are
+    placed round-robin across the tiers; each tier's controller enforces
+    priorities against its *own* token rate.
+    """
+    caps = tuple(float(c) for c in str(capacities).split(",") if c.strip())
+    jobs = (
+        JobSpec(
+            job_id="science",
+            nodes=science_nodes,
+            processes=tuple(
+                ProcessSpec(SequentialWritePattern(int(file_mib * MIB)))
+                for _ in range(procs)
+            ),
+        ),
+        JobSpec(
+            job_id="hog",
+            nodes=1,
+            processes=tuple(
+                ProcessSpec(SequentialWritePattern(int(file_mib * MIB)))
+                for _ in range(procs)
+            ),
+        ),
+    )
+    return ScenarioSpec(
+        name="hetero-osts",
+        jobs=jobs,
+        topology=TopologySpec(
+            n_osts=len(caps),
+            ost_capacities_mib_s=caps,
+            stripe_count=stripe_count,
+        ),
+        policy=PolicySpec(mechanism=mechanism, interval_s=interval_s),
+        run=RunSpec(duration_s=duration or None),
+        description=(
+            f"{len(caps)} OSTs at {capacities} MiB/s; science vs hog placed "
+            "round-robin across unequal tiers"
+        ),
+    )

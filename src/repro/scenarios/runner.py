@@ -1,0 +1,59 @@
+"""The pipeline's execution entry point: ``run_scenario(spec) → RunResult``.
+
+One call materializes a :class:`~repro.scenarios.spec.ScenarioSpec` through
+the cluster builder, executes it, and returns a :class:`RunResult` — the
+:class:`~repro.cluster.experiment.ExperimentResult` measurement set plus
+the spec that produced it, so downstream consumers (reports, CSV export,
+sweeps) never need out-of-band context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.cluster.builder import build
+from repro.cluster.experiment import ExperimentResult, execute
+from repro.scenarios.spec import Mechanism, ScenarioSpec
+
+__all__ = ["RunResult", "run_scenario", "run_mechanisms"]
+
+
+@dataclass
+class RunResult(ExperimentResult):
+    """An :class:`ExperimentResult` that remembers the spec it came from."""
+
+    spec: Optional[ScenarioSpec] = None
+
+    @classmethod
+    def from_result(cls, result: ExperimentResult, spec: ScenarioSpec) -> "RunResult":
+        return cls(spec=spec, **vars(result))
+
+
+def run_scenario(spec: ScenarioSpec, algorithm_factory=None) -> RunResult:
+    """Build and execute ``spec``; the single pipeline entry point.
+
+    ``algorithm_factory`` optionally overrides the AdapTBF algorithm
+    construction (see :func:`~repro.cluster.builder.build`).
+    """
+    cluster = build(spec, algorithm_factory=algorithm_factory)
+    return RunResult.from_result(execute(cluster), spec)
+
+
+def run_mechanisms(
+    spec: ScenarioSpec,
+    mechanisms: Sequence[Mechanism] = tuple(Mechanism),
+    algorithm_factory=None,
+) -> Dict[str, RunResult]:
+    """Run ``spec`` once per mechanism with otherwise equal hardware.
+
+    Returns results keyed by ``Mechanism.value`` — the §IV-C comparison
+    every figure of the paper is built from.
+    """
+    return {
+        mechanism.value: run_scenario(
+            spec.with_policy(mechanism=mechanism),
+            algorithm_factory=algorithm_factory,
+        )
+        for mechanism in mechanisms
+    }

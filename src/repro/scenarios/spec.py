@@ -1,0 +1,369 @@
+"""The declarative scenario specification family.
+
+A :class:`ScenarioSpec` is a frozen, validated description of one complete
+experiment — *what* to simulate, decoupled from the imperative machinery
+that materializes and runs it:
+
+* :class:`TopologySpec` — the storage cluster: OST/OSS counts, per-OST link
+  rates (uniform or heterogeneous), striping, RPC geometry;
+* the job mix — a tuple of :class:`~repro.workloads.spec.JobSpec` (arrival
+  patterns, node counts and hence priorities, process counts);
+* :class:`PolicySpec` — the bandwidth-control mechanism under test (AdapTBF
+  vs. the paper's baselines) and its knobs (interval, overhead, variant);
+* :class:`RunSpec` — how to execute and what to measure (duration cap,
+  seed, metrics to collect).
+
+Specs flow through one pipeline::
+
+    ScenarioSpec --build()--> ClusterTopology --run_scenario()--> RunResult
+
+(:func:`repro.cluster.builder.build` and
+:func:`repro.scenarios.runner.run_scenario`), and are registered by name in
+the :class:`~repro.scenarios.registry.ScenarioRegistry` so every workload —
+the paper's figures and anything new — is reachable from
+``python -m repro.experiments run <name>``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.ablation import VARIANTS
+from repro.workloads.spec import JobSpec, validate_jobs
+
+__all__ = [
+    "MIB",
+    "Mechanism",
+    "TopologySpec",
+    "PolicySpec",
+    "RunSpec",
+    "ScenarioSpec",
+    "METRIC_NAMES",
+    "from_scenario",
+]
+
+MIB = 1 << 20
+
+#: Metric groups a run can collect; see :class:`RunSpec`.
+METRIC_NAMES = ("summary", "timeline", "history", "utilization")
+
+
+class Mechanism(enum.Enum):
+    """Bandwidth-control mechanism under test (paper §IV-C)."""
+
+    NONE = "none"
+    STATIC = "static"
+    ADAPTBF = "adaptbf"
+
+    @classmethod
+    def coerce(cls, value: "Union[Mechanism, str]") -> "Mechanism":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            options = sorted(m.value for m in cls)
+            raise ValueError(
+                f"unknown mechanism {value!r}; options: {options}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """The simulated storage cluster.
+
+    Parameters
+    ----------
+    n_osts:
+        Number of (OSS, OST) pairs; each runs its own NRS policy and (under
+        AdapTBF) its own independent controller — the paper's decentralized
+        deployment (§II-B).
+    capacity_mib_s:
+        Per-OST disk bandwidth in MiB/s (default ≈ the paper's SSD OST).
+    ost_capacities_mib_s:
+        Optional per-OST capacities for a *heterogeneous* cluster (length
+        must equal ``n_osts``); overrides ``capacity_mib_s``.
+    stripe_count:
+        OSTs per file (Lustre layout).  1 places each process's file wholly
+        on one OST, assigned round-robin; larger values stripe each file's
+        chunks across that many OSTs.
+    rpc_size:
+        Bulk RPC payload; 1 token = 1 RPC of this size.
+    io_threads:
+        OSS I/O thread count (paper node: 16 cores).
+    net_latency_s:
+        One-way client↔OSS latency.
+    """
+
+    n_osts: int = 1
+    capacity_mib_s: float = 1024.0
+    ost_capacities_mib_s: Optional[Tuple[float, ...]] = None
+    stripe_count: int = 1
+    rpc_size: int = MIB
+    io_threads: int = 16
+    net_latency_s: float = 100e-6
+
+    def __post_init__(self) -> None:
+        if self.n_osts <= 0:
+            raise ValueError("n_osts must be positive")
+        if self.capacity_mib_s <= 0:
+            raise ValueError("capacity must be positive")
+        if self.ost_capacities_mib_s is not None:
+            caps = tuple(float(c) for c in self.ost_capacities_mib_s)
+            object.__setattr__(self, "ost_capacities_mib_s", caps)
+            if len(caps) != self.n_osts:
+                raise ValueError(
+                    f"ost_capacities_mib_s must list {self.n_osts} capacities,"
+                    f" got {len(caps)}"
+                )
+            if any(c <= 0 for c in caps):
+                raise ValueError("all OST capacities must be positive")
+        if self.rpc_size <= 0:
+            raise ValueError("rpc_size must be positive")
+        if self.io_threads <= 0:
+            raise ValueError("io_threads must be positive")
+        if self.net_latency_s < 0:
+            raise ValueError("net_latency_s must be >= 0")
+        if not (1 <= self.stripe_count <= self.n_osts):
+            raise ValueError(
+                f"stripe_count must be in [1, n_osts], got {self.stripe_count}"
+            )
+
+    @property
+    def capacities_mib_s(self) -> Tuple[float, ...]:
+        """Per-OST capacities, uniform unless overridden."""
+        if self.ost_capacities_mib_s is not None:
+            return self.ost_capacities_mib_s
+        return (self.capacity_mib_s,) * self.n_osts
+
+    @property
+    def total_capacity_mib_s(self) -> float:
+        return sum(self.capacities_mib_s)
+
+    def max_token_rate(self, ost_index: int = 0) -> float:
+        """``T_i``: tokens/second OST ``ost_index`` can actually serve."""
+        return self.capacities_mib_s[ost_index] * MIB / self.rpc_size
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """The bandwidth-control policy and its knobs.
+
+    Parameters
+    ----------
+    mechanism:
+        ``"none"`` (FIFO, no control), ``"static"`` (fixed TBF shares) or
+        ``"adaptbf"`` (the paper's framework).  Strings are coerced to
+        :class:`Mechanism`.
+    interval_s:
+        AdapTBF observation period Δt (paper default 100 ms; ignored by
+        the baselines).
+    overhead_s:
+        Simulated per-round AdapTBF overhead (§IV-G measured ~25 ms; 0
+        models the paper's proposed in-Lustre integration).
+    bucket_depth:
+        TBF bucket depth for all rules.
+    variant:
+        AdapTBF algorithm variant from :data:`repro.core.ablation.VARIANTS`
+        ("full" = the paper's design).
+    keep_history:
+        Controller history retention: ``True`` keeps every allocation round
+        (the default — Fig. 7 is plotted from it), ``False`` keeps none,
+        and an ``int`` caps retention to the most recent N rounds (bounded
+        memory for long runs).
+    """
+
+    mechanism: Mechanism = Mechanism.ADAPTBF
+    interval_s: float = 0.1
+    overhead_s: float = 0.0
+    bucket_depth: float = 3.0
+    variant: str = "full"
+    keep_history: Union[bool, int] = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mechanism", Mechanism.coerce(self.mechanism))
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if self.overhead_s < 0:
+            raise ValueError("overhead_s must be >= 0")
+        if self.overhead_s >= self.interval_s:
+            raise ValueError(
+                "overhead_s must be smaller than interval_s "
+                f"(got {self.overhead_s} >= {self.interval_s})"
+            )
+        if self.bucket_depth <= 0:
+            raise ValueError("bucket_depth must be positive")
+        if self.variant not in VARIANTS:
+            raise ValueError(
+                f"unknown variant {self.variant!r}; options: {sorted(VARIANTS)}"
+            )
+        if not isinstance(self.keep_history, (bool, int)):
+            raise ValueError("keep_history must be a bool or an int cap")
+        if self.keep_history is not True and self.keep_history is not False:
+            if self.keep_history <= 0:
+                raise ValueError("keep_history cap must be positive")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Execution and measurement parameters.
+
+    Parameters
+    ----------
+    duration_s:
+        Cap on simulated time; ``None`` runs until every client process
+        finishes (the §IV-D style).
+    bin_s:
+        Timeline bin width; ``None`` follows the policy's ``interval_s``
+        (the paper bins at its 100 ms observation granularity).
+    seed:
+        Seed for any randomized workload construction (e.g. the burst-storm
+        scenario); the simulation itself is deterministic given the spec.
+    metrics:
+        Which metric groups to collect: any subset of
+        ``("summary", "timeline", "history", "utilization")``.  Dropping
+        ``timeline`` (which ``summary`` implies) skips per-RPC recording on
+        the completion stream — useful for huge parameter sweeps.
+    """
+
+    duration_s: Optional[float] = None
+    bin_s: Optional[float] = None
+    seed: int = 0
+    metrics: Tuple[str, ...] = METRIC_NAMES
+
+    def __post_init__(self) -> None:
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise ValueError("duration_s must be positive (or None)")
+        if self.bin_s is not None and self.bin_s <= 0:
+            raise ValueError("bin_s must be positive (or None)")
+        metrics = tuple(self.metrics)
+        object.__setattr__(self, "metrics", metrics)
+        unknown = set(metrics) - set(METRIC_NAMES)
+        if unknown:
+            raise ValueError(
+                f"unknown metrics {sorted(unknown)}; options: {METRIC_NAMES}"
+            )
+
+    def wants(self, metric: str) -> bool:
+        if metric == "timeline":
+            # A bandwidth summary is computed from the timeline.
+            return "timeline" in self.metrics or "summary" in self.metrics
+        return metric in self.metrics
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One complete, validated experiment description."""
+
+    name: str
+    jobs: Tuple[JobSpec, ...]
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    policy: PolicySpec = field(default_factory=PolicySpec)
+    run: RunSpec = field(default_factory=RunSpec)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        object.__setattr__(self, "jobs", tuple(self.jobs))
+        validate_jobs(list(self.jobs))
+
+    # -- derived views -----------------------------------------------------
+    @property
+    def job_ids(self) -> List[str]:
+        return [job.job_id for job in self.jobs]
+
+    @property
+    def nodes(self) -> Dict[str, int]:
+        return {job.job_id: job.nodes for job in self.jobs}
+
+    @property
+    def bin_s(self) -> float:
+        """Resolved timeline bin width."""
+        return self.run.bin_s if self.run.bin_s is not None else self.policy.interval_s
+
+    # -- functional updates ------------------------------------------------
+    def with_policy(self, **changes) -> "ScenarioSpec":
+        """Copy with policy fields replaced (e.g. ``mechanism="static"``)."""
+        return dataclasses.replace(
+            self, policy=dataclasses.replace(self.policy, **changes)
+        )
+
+    def with_topology(self, **changes) -> "ScenarioSpec":
+        """Copy with topology fields replaced."""
+        return dataclasses.replace(
+            self, topology=dataclasses.replace(self.topology, **changes)
+        )
+
+    def with_run(self, **changes) -> "ScenarioSpec":
+        """Copy with run fields replaced (e.g. ``duration_s=2.0``)."""
+        return dataclasses.replace(
+            self, run=dataclasses.replace(self.run, **changes)
+        )
+
+    # -- description -------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable multi-line summary of the spec."""
+        topo = self.topology
+        if topo.ost_capacities_mib_s is not None:
+            caps = "/".join(f"{c:g}" for c in topo.capacities_mib_s) + " MiB/s"
+        else:
+            caps = f"{topo.capacity_mib_s:g} MiB/s each"
+        lines = [
+            f"scenario: {self.name}",
+        ]
+        if self.description:
+            lines.append(f"  {self.description}")
+        lines += [
+            f"topology: {topo.n_osts} OST(s) @ {caps}, "
+            f"stripe_count={topo.stripe_count}, "
+            f"rpc_size={topo.rpc_size // MIB} MiB",
+            f"policy:   {self.policy.mechanism.value} "
+            f"(interval={self.policy.interval_s:g}s, "
+            f"overhead={self.policy.overhead_s:g}s, "
+            f"variant={self.policy.variant})",
+            f"run:      duration="
+            + (
+                f"{self.run.duration_s:g}s"
+                if self.run.duration_s is not None
+                else "until-complete"
+            )
+            + f", bin={self.bin_s:g}s, seed={self.run.seed}, "
+            f"metrics={','.join(self.run.metrics)}",
+            f"jobs ({len(self.jobs)}):",
+        ]
+        total_nodes = sum(job.nodes for job in self.jobs)
+        for job in self.jobs:
+            share = 100.0 * job.nodes / total_nodes
+            hint = job.total_bytes_hint
+            volume = f"{hint / MIB:.0f} MiB" if hint is not None else "open-ended"
+            lines.append(
+                f"  {job.job_id}: {job.nodes} node(s) ({share:.0f}% priority), "
+                f"{len(job.processes)} process(es), {volume}"
+            )
+        return "\n".join(lines)
+
+
+def from_scenario(
+    scenario,
+    topology: Optional[TopologySpec] = None,
+    policy: Optional[PolicySpec] = None,
+    run: Optional[RunSpec] = None,
+) -> ScenarioSpec:
+    """Lift a legacy :class:`~repro.workloads.scenarios.Scenario` (a bare
+    job mix + duration) into a full :class:`ScenarioSpec`.
+
+    ``run`` defaults to the scenario's own duration cap; topology and
+    policy default to the standard single-OST AdapTBF setup.
+    """
+    return ScenarioSpec(
+        name=scenario.name,
+        jobs=tuple(scenario.jobs),
+        topology=topology if topology is not None else TopologySpec(),
+        policy=policy if policy is not None else PolicySpec(),
+        run=run if run is not None else RunSpec(duration_s=scenario.duration_s),
+        description=scenario.description,
+    )

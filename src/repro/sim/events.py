@@ -164,6 +164,8 @@ class ConditionValue:
     test assertions deterministic.
     """
 
+    __slots__ = ("events",)
+
     def __init__(self) -> None:
         self.events: List[Event] = []
 

@@ -24,6 +24,8 @@ from repro.workloads.patterns import (
 from repro.workloads.scenarios import (
     ScenarioConfig,
     scenario_allocation,
+    scenario_burst_storm,
+    scenario_elastic_churn,
     scenario_recompensation,
     scenario_redistribution,
 )
@@ -38,6 +40,8 @@ __all__ = [
     "ScenarioConfig",
     "SequentialWritePattern",
     "scenario_allocation",
+    "scenario_burst_storm",
+    "scenario_elastic_churn",
     "scenario_recompensation",
     "scenario_redistribution",
 ]

@@ -25,6 +25,7 @@ substrate-appropriate volume.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -36,15 +37,23 @@ from repro.workloads.patterns import (
 from repro.workloads.spec import JobSpec, ProcessSpec
 
 __all__ = [
+    "BENCH_SCALE",
     "ScenarioConfig",
     "Scenario",
     "scenario_allocation",
     "scenario_redistribution",
     "scenario_recompensation",
+    "scenario_burst_storm",
+    "scenario_elastic_churn",
 ]
 
 GIB = 1 << 30
 MIB = 1 << 20
+
+#: The repository's reduced "bench" scale: 1/10 data, 1/10 time (see
+#: ``repro.experiments.common.bench_scale``).  Registered scenario factories
+#: and the figure adapters share this one constant.
+BENCH_SCALE = 0.1
 
 
 @dataclass(frozen=True)
@@ -248,5 +257,127 @@ def scenario_recompensation(
         description=(
             "4 equal-priority jobs; jobs 1-3 lend early (delayed continuous "
             "streams at 20/50/80s) while job 4 borrows from t=0"
+        ),
+    )
+
+
+def scenario_burst_storm(
+    cfg: ScenarioConfig = ScenarioConfig(),
+    n_jobs: int = 6,
+    seed: int = 0,
+    duration_s: float = 40.0,
+    with_hog: bool = True,
+) -> Scenario:
+    """Mixed-priority burst storm: many jobs, randomized shapes (seeded).
+
+    ``n_jobs`` bursty jobs with node counts (priorities), burst volumes,
+    cadences, process counts and phase offsets all drawn from
+    ``random.Random(seed)`` — the adversarial many-tenant regime none of the
+    paper's fixed four-job scripts could express.  An optional low-priority
+    continuous hog keeps the OST saturated between bursts so redistribution
+    stays observable.  The same seed always yields the identical job mix.
+    """
+    if n_jobs <= 0:
+        raise ValueError("n_jobs must be positive")
+    rng = random.Random(seed)
+    duration = cfg.secs(duration_s)
+    jobs: List[JobSpec] = []
+    for idx in range(1, n_jobs + 1):
+        nodes = rng.randint(1, 8)
+        n_procs = rng.randint(1, 3)
+        processes = []
+        for _ in range(n_procs):
+            gap_s = cfg.secs(rng.uniform(2.0, 6.0))
+            delay_s = cfg.secs(rng.uniform(0.0, 4.0))
+            count = max(2, int((duration - delay_s) / gap_s))
+            processes.append(
+                ProcessSpec(
+                    BurstPattern(
+                        burst_bytes=cfg.bytes_(rng.choice((16, 32, 64, 96, 128)) * MIB),
+                        interval_s=gap_s,
+                        count=count,
+                        start_delay_s=delay_s,
+                    ),
+                    window=cfg.window,
+                )
+            )
+        jobs.append(
+            JobSpec(job_id=f"storm{idx}", nodes=nodes, processes=tuple(processes))
+        )
+    if with_hog:
+        hog_bytes = cfg.continuous_bytes_per_proc(duration, 4, saturation=1.0)
+        jobs.append(
+            JobSpec(
+                job_id="hog",
+                nodes=1,
+                processes=tuple(
+                    ProcessSpec(SequentialWritePattern(hog_bytes), window=cfg.window)
+                    for _ in range(4)
+                ),
+            )
+        )
+    return Scenario(
+        name="burst-storm",
+        jobs=jobs,
+        duration_s=duration,
+        description=(
+            f"{n_jobs} mixed-priority bursty jobs with seeded-random shapes "
+            f"(seed={seed})" + (" + continuous low-priority hog" if with_hog else "")
+        ),
+    )
+
+
+def scenario_elastic_churn(
+    cfg: ScenarioConfig = ScenarioConfig(),
+    waves: int = 3,
+    jobs_per_wave: int = 2,
+    wave_gap_s: float = 8.0,
+    file_mib: float = 192.0,
+    seed: int = 0,
+) -> Scenario:
+    """Elastic job churn: whole jobs arrive in waves, finish, and leave.
+
+    Wave ``w`` starts ``w * wave_gap_s`` into the run; each of its jobs
+    writes a fixed volume and departs, so the active set repeatedly grows
+    and shrinks — continuous arrival *and* departure churn, where the
+    paper's scripts only ever shrink (§IV-D) or hold steady (§IV-E/F).
+    Node counts are drawn per job from ``random.Random(seed)``, so every
+    wave mixes priorities.
+    """
+    if waves <= 0 or jobs_per_wave <= 0:
+        raise ValueError("waves and jobs_per_wave must be positive")
+    if wave_gap_s <= 0:
+        raise ValueError("wave_gap_s must be positive")
+    rng = random.Random(seed)
+    jobs: List[JobSpec] = []
+    for wave in range(waves):
+        arrival_s = cfg.secs(wave * wave_gap_s)
+        for j in range(jobs_per_wave):
+            nodes = rng.choice((1, 2, 4))
+            n_procs = rng.randint(2, 4)
+            processes = tuple(
+                ProcessSpec(
+                    SequentialWritePattern(
+                        cfg.bytes_(file_mib * MIB), start_delay_s=arrival_s
+                    ),
+                    window=cfg.window,
+                )
+                for _ in range(n_procs)
+            )
+            jobs.append(
+                JobSpec(
+                    job_id=f"wave{wave + 1}.job{j + 1}",
+                    nodes=nodes,
+                    processes=processes,
+                )
+            )
+    return Scenario(
+        name="elastic-churn",
+        jobs=jobs,
+        duration_s=None,
+        description=(
+            f"{waves} waves x {jobs_per_wave} jobs arriving every "
+            f"{wave_gap_s:g}s (scaled), each departing when its files are "
+            f"written (seed={seed})"
         ),
     )

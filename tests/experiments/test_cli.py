@@ -1,0 +1,113 @@
+"""Tests for the unified experiment CLI (run / list / describe)."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestList:
+    def test_lists_figures_and_scenarios(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig3", "fig9", "overhead", "quickstart", "burst-storm"):
+            assert name in out
+
+
+class TestDescribe:
+    def test_describe_registered_scenario(self, capsys):
+        assert main(["describe", "quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "quickstart" in out
+        assert "--param" in out
+        assert "topology:" in out
+
+    def test_describe_figure_points_at_scenario(self, capsys):
+        assert main(["describe", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "allocation" in out
+        assert "mechanisms" in out
+
+    def test_describe_unknown_exits(self):
+        with pytest.raises(SystemExit):
+            main(["describe", "nope"])
+
+
+class TestRun:
+    def test_run_registered_scenario_with_overrides(self, capsys):
+        code = main(
+            [
+                "run",
+                "quickstart",
+                "--duration",
+                "0.5",
+                "--param",
+                "file_mib=16",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "achieved bandwidth (adaptbf)" in out
+        assert "science" in out and "hog" in out
+
+    def test_run_mechanism_override(self, capsys):
+        code = main(
+            [
+                "run",
+                "quickstart",
+                "--mechanism",
+                "none",
+                "--param",
+                "file_mib=16",
+            ]
+        )
+        assert code == 0
+        assert "achieved bandwidth (none)" in capsys.readouterr().out
+
+    def test_run_underscore_alias(self, capsys):
+        code = main(
+            ["run", "burst_storm", "--param", "n_jobs=2", "--duration", "0.5"]
+        )
+        assert code == 0
+        assert "storm1" in capsys.readouterr().out
+
+    def test_unknown_scenario_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "not-a-scenario"])
+
+    def test_unknown_param_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "quickstart", "--param", "bogus=1"])
+
+    def test_csv_export(self, tmp_path, capsys):
+        code = main(
+            [
+                "run",
+                "quickstart",
+                "--param",
+                "file_mib=16",
+                "--csv",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        written = list(tmp_path.glob("quickstart_*.csv"))
+        assert written
+
+    def test_legacy_invocation_rewritten(self, capsys):
+        """`python -m repro.experiments fig3 ...` still parses as `run fig3`."""
+        import repro.experiments.__main__ as cli
+
+        captured = {}
+
+        def fake_run_figures(name, args, params):
+            captured["name"] = name
+            captured["full"] = args.full
+            return True
+
+        original = cli._run_figures
+        cli._run_figures = fake_run_figures
+        try:
+            assert main(["fig3", "--full"]) == 0
+        finally:
+            cli._run_figures = original
+        assert captured == {"name": "fig3", "full": True}

@@ -1,0 +1,150 @@
+"""Tests for the scenario registry: registration, lookup, describe."""
+
+import pytest
+
+from repro.scenarios import REGISTRY, ScenarioRegistry, ScenarioSpec
+from repro.workloads.patterns import SequentialWritePattern
+from repro.workloads.spec import JobSpec, ProcessSpec
+
+MIB = 1 << 20
+
+
+def tiny_spec(name="tiny", volume_mib: float = 4.0) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name,
+        jobs=(
+            JobSpec(
+                job_id="j0",
+                nodes=1,
+                processes=(ProcessSpec(SequentialWritePattern(int(volume_mib * MIB))),),
+            ),
+        ),
+    )
+
+
+class TestRegistration:
+    def test_register_and_build(self):
+        registry = ScenarioRegistry()
+        registry.register("tiny", lambda volume_mib=4.0: tiny_spec(volume_mib=volume_mib))
+        spec = registry.build("tiny", volume_mib=8.0)
+        assert spec.jobs[0].total_bytes_hint == 8 * MIB
+
+    def test_decorator_form(self):
+        registry = ScenarioRegistry()
+
+        @registry.register("deco", description="a decorated scenario")
+        def _factory(volume_mib: float = 4.0) -> ScenarioSpec:
+            return tiny_spec(volume_mib=volume_mib)
+
+        assert "deco" in registry
+        assert registry.get("deco").description == "a decorated scenario"
+
+    def test_duplicate_name_rejected(self):
+        registry = ScenarioRegistry()
+        registry.register("dup", lambda: tiny_spec())
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("dup", lambda: tiny_spec())
+
+    def test_overwrite_opt_in(self):
+        registry = ScenarioRegistry()
+        registry.register("v", lambda: tiny_spec(volume_mib=1))
+        registry.register("v", lambda: tiny_spec(volume_mib=2), overwrite=True)
+        assert registry.build("v").jobs[0].total_bytes_hint == 2 * MIB
+
+    def test_names_normalized(self):
+        registry = ScenarioRegistry()
+        registry.register("My_Scenario", lambda: tiny_spec())
+        assert registry.names() == ["my-scenario"]
+        assert "my-scenario" in registry
+        assert "MY_SCENARIO" in registry
+
+    def test_factory_without_defaults_rejected(self):
+        registry = ScenarioRegistry()
+
+        def bad(required_param) -> ScenarioSpec:  # pragma: no cover
+            return tiny_spec()
+
+        with pytest.raises(ValueError, match="needs a default"):
+            registry.register("bad", bad)
+
+
+class TestLookup:
+    def test_unknown_name_lists_options(self):
+        registry = ScenarioRegistry()
+        registry.register("only", lambda: tiny_spec())
+        with pytest.raises(KeyError, match="only"):
+            registry.get("nope")
+
+    def test_unknown_param_rejected(self):
+        registry = ScenarioRegistry()
+        registry.register("t", lambda volume_mib=4.0: tiny_spec(volume_mib=volume_mib))
+        with pytest.raises(ValueError, match="no parameter"):
+            registry.build("t", bogus=1)
+
+    def test_coerce_types_from_strings(self):
+        registry = ScenarioRegistry()
+        registry.register(
+            "t",
+            lambda volume_mib=4.0, procs=2, label="x", flag=True: tiny_spec(),
+        )
+        coerced = registry.coerce(
+            "t", {"volume_mib": "8.5", "procs": "3", "label": "y", "flag": "false"}
+        )
+        assert coerced == {
+            "volume_mib": 8.5,
+            "procs": 3,
+            "label": "y",
+            "flag": False,
+        }
+
+    def test_coerce_rejects_bad_values(self):
+        registry = ScenarioRegistry()
+        registry.register("t", lambda procs=2: tiny_spec())
+        with pytest.raises(ValueError, match="expected int"):
+            registry.coerce("t", {"procs": "many"})
+
+
+class TestDescribe:
+    def test_describe_round_trip(self):
+        """describe() names every parameter the factory accepts, and the
+        described defaults rebuild the identical spec."""
+        registry = ScenarioRegistry()
+
+        @registry.register("rt", description="round trip")
+        def _factory(volume_mib: float = 4.0, procs: int = 1) -> ScenarioSpec:
+            return tiny_spec(name="rt", volume_mib=volume_mib)
+
+        text = registry.describe("rt")
+        assert "rt: round trip" in text
+        entry = registry.get("rt")
+        for key in ("volume_mib", "procs"):
+            assert key in entry.params
+            assert key in text
+        # Rebuilding from the advertised defaults reproduces the same spec.
+        assert entry.build(**dict(entry.params)) == entry.build()
+
+    def test_builtin_scenarios_describe(self):
+        for name in REGISTRY.names():
+            text = REGISTRY.describe(name)
+            assert name in text
+            assert "topology:" in text
+
+
+class TestBuiltins:
+    def test_expected_scenarios_present(self):
+        names = set(REGISTRY.names())
+        assert {
+            "quickstart",
+            "allocation",
+            "redistribution",
+            "recompensation",
+            "multiost",
+            "burst-storm",
+            "elastic-churn",
+            "hetero-osts",
+        } <= names
+
+    def test_builtin_specs_validate(self):
+        for name in REGISTRY.names():
+            spec = REGISTRY.build(name)
+            assert spec.jobs, name

@@ -24,6 +24,14 @@ def test_public_api_importable():
 
 def test_init_docstring_example_runs():
     """The quickstart in the package docstring must stay true."""
+    from repro.scenarios import REGISTRY, run_scenario
+
+    result = run_scenario(REGISTRY.build("quickstart", file_mib=16.0))
+    assert result.summary.aggregate_mib_s > 0
+
+
+def test_legacy_surface_still_works():
+    """The pre-pipeline config+jobs API remains supported."""
     from repro.cluster import ClusterConfig, Mechanism, run_scenario
     from repro.workloads import ScenarioConfig, scenario_allocation
 
