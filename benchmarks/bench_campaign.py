@@ -1,0 +1,75 @@
+"""Bench the campaign engine: cells/second, serial vs multi-process.
+
+Runs a small ``scale-osts`` grid through :func:`repro.campaigns.run_campaign`
+with one and with two workers, and emits ``BENCH_campaign.json`` (to the
+invocation directory, or ``$BENCH_JSON_DIR``): per-bench wall time and
+cells/second — the machine-readable perf-trajectory data points for the
+engine.  Parallel and serial runs of the same campaign must also agree on
+every aggregated row, so the bench doubles as a determinism check.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.campaigns import CAMPAIGNS, run_campaign
+from repro.metrics.report import format_campaign_report
+
+_RESULTS = {}
+
+
+def _tiny_campaign():
+    return CAMPAIGNS.build(
+        "scale-osts",
+        osts="1,2",
+        capacities="128,256",
+        file_mib=16.0,
+        procs=2,
+        duration=1.0,
+    )
+
+
+def _record(name, result):
+    _RESULTS[name] = {
+        "campaign": result.campaign.name,
+        "spec_hash": result.campaign.spec_hash(),
+        "cells": len(result.outcomes),
+        "jobs": result.jobs,
+        "wall_s": result.wall_s,
+        "cells_per_s": result.cells_per_s,
+        "cell_wall_s": [outcome.wall_s for outcome in result.outcomes],
+    }
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_bench_json():
+    """Write BENCH_campaign.json after the module's benches finish."""
+    yield
+    out = Path(os.environ.get("BENCH_JSON_DIR", ".")) / "BENCH_campaign.json"
+    out.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
+
+
+def test_campaign_engine_serial(benchmark, print_report):
+    campaign = _tiny_campaign()
+    result = benchmark.pedantic(
+        run_campaign, args=(campaign,), kwargs={"jobs": 1}, rounds=1, iterations=1
+    )
+    _record("serial_jobs1", result)
+    assert len(result.outcomes) == campaign.n_cells
+    assert all(o.row.aggregate_mib_s > 0 for o in result.outcomes)
+    print_report(format_campaign_report(result))
+
+
+def test_campaign_engine_parallel(benchmark, print_report):
+    campaign = _tiny_campaign()
+    result = benchmark.pedantic(
+        run_campaign, args=(campaign,), kwargs={"jobs": 2}, rounds=1, iterations=1
+    )
+    _record("parallel_jobs2", result)
+    assert len(result.outcomes) == campaign.n_cells
+    # Fan-out must not change the science: rows match a serial run exactly.
+    serial = run_campaign(campaign, jobs=1)
+    assert [o.row for o in result.outcomes] == [o.row for o in serial.outcomes]
+    print_report(format_campaign_report(result))

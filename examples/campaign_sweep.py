@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Declare and run a parameter-sweep campaign.
+
+A campaign is a frozen declaration — a base registered scenario plus
+parameter axes — that the engine expands into cells, fans out across
+worker processes, and reduces to one flat summary row per cell.  This
+example sweeps the ``quickstart`` scenario over an OST-capacity ×
+allocation-interval grid, runs it with two workers, and prints the
+aggregated table; pass ``--out DIR`` to also write the JSON/CSV artifacts
+(manifest with per-cell rerun commands, rows, timing).
+
+The built-in campaigns (``freq-sweep``, ``burst-grid``, ``scale-osts``)
+are the same thing pre-declared:  python -m repro.experiments campaign list
+
+Run:  python examples/campaign_sweep.py [--jobs N] [--out DIR]
+"""
+
+import argparse
+
+from repro.campaigns import (
+    CampaignSpec,
+    ParameterAxis,
+    run_campaign,
+    write_artifacts,
+)
+from repro.metrics.report import format_campaign_report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--out", default=None, metavar="DIR")
+    args = parser.parse_args()
+
+    campaign = CampaignSpec(
+        name="quickstart-grid",
+        scenario="quickstart",
+        axes=(
+            ParameterAxis("capacity_mib_s", (512.0, 1024.0)),
+            ParameterAxis("interval_s", (0.05, 0.1)),
+        ),
+        base_params={"file_mib": 64.0, "procs": 2},
+        description="capacity × allocation interval over the quickstart mix",
+    )
+    print(campaign.describe())
+    print()
+
+    result = run_campaign(campaign, jobs=args.jobs)
+    print(format_campaign_report(result))
+
+    if args.out:
+        written = write_artifacts(result, args.out)
+        print("\nartifacts: " + ", ".join(str(p) for p in written.values()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""The campaign engine: declarative parameter sweeps over scenarios.
+
+Turns the PR 1 scenario pipeline into a batch system::
+
+    CampaignSpec ──cells()──▶ CampaignCell ──resolve()──▶ ScenarioSpec
+          │                                                    │
+          └── run_campaign(jobs=N) ── CellRow per cell ◀── run_cell
+
+* :mod:`repro.campaigns.spec` — the frozen :class:`CampaignSpec`: a base
+  registered scenario plus parameter axes composed as grid / zip / seeded
+  random sampling, with deterministic per-cell seeds;
+* :mod:`repro.campaigns.registry` — name → campaign-factory registry
+  behind ``python -m repro.experiments campaign run/list/describe``;
+* :mod:`repro.campaigns.executor` — multi-process fan-out with a serial
+  ``jobs=1`` fallback and cell-index-ordered results;
+* :mod:`repro.campaigns.aggregate` — in-worker reduction of each cell to a
+  flat summary row (throughput, fairness, rule churn, latency percentiles);
+* :mod:`repro.campaigns.artifacts` — manifest + rows as JSON/CSV, spec
+  hash and per-cell rerun commands included;
+* :mod:`repro.campaigns.builtin` — ``freq-sweep`` (Fig. 9), ``burst-grid``
+  and ``scale-osts``, self-registered on import.
+"""
+
+from repro.campaigns.aggregate import (
+    CELL_METRICS,
+    CampaignSummary,
+    CellRow,
+    percentile,
+    run_cell,
+)
+from repro.campaigns.artifacts import rerun_command, write_artifacts
+from repro.campaigns.executor import CampaignResult, CellOutcome, run_campaign
+from repro.campaigns.registry import CAMPAIGNS, CampaignRegistry
+from repro.campaigns.spec import (
+    AXIS_MODES,
+    CampaignCell,
+    CampaignSpec,
+    ParameterAxis,
+    derive_cell_seed,
+)
+
+# Populate CAMPAIGNS with the built-in campaigns.
+from repro.campaigns import builtin as _builtin  # noqa: F401  (side effect)
+
+__all__ = [
+    "AXIS_MODES",
+    "CAMPAIGNS",
+    "CELL_METRICS",
+    "CampaignCell",
+    "CampaignRegistry",
+    "CampaignResult",
+    "CampaignSpec",
+    "CampaignSummary",
+    "CellOutcome",
+    "CellRow",
+    "ParameterAxis",
+    "derive_cell_seed",
+    "percentile",
+    "rerun_command",
+    "run_campaign",
+    "run_cell",
+    "write_artifacts",
+]

@@ -1,0 +1,224 @@
+"""Streaming reduction of campaign cells into flat summary rows.
+
+A parameter sweep only needs a handful of numbers per cell — throughput,
+fairness, rule churn, latency percentiles — never the cell's full
+:class:`~repro.cluster.experiment.ExperimentResult` (timelines, allocation
+histories, per-RPC records).  :func:`run_cell` therefore executes a resolved
+spec *and reduces it in place*: metric collection is trimmed to what the row
+needs (no allocation history, no utilization-free extras), per-RPC latencies
+are folded into percentiles as the run's own completion stream fires, and
+only the flat :class:`CellRow` ever leaves the worker process.  The parent
+process of a ``--jobs N`` campaign holds one row per cell, not N simulation
+histories.
+
+:class:`CampaignSummary` is the matching cross-cell reduction: feed it
+outcomes one at a time and read aggregate statistics at the end.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from repro.cluster.builder import build
+from repro.cluster.experiment import execute
+from repro.metrics.summary import jain_index
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "CELL_METRICS",
+    "CellRow",
+    "run_cell",
+    "percentile",
+    "CampaignSummary",
+]
+
+#: Metric groups a campaign cell collects — summaries only; timelines are
+#: recorded (``summary`` implies them) but histories are skipped entirely.
+CELL_METRICS = ("summary", "utilization")
+
+#: Latency percentiles every row reports, in order.
+LATENCY_PERCENTILES = (50, 95, 99)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation).
+
+    Returns 0.0 for an empty sequence — a cell that served nothing has no
+    latency distribution to speak of.
+    """
+    if not 0 < q <= 100:
+        raise ValueError(f"q must be in (0, 100], got {q}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class CellRow:
+    """The flat, JSON/CSV-ready summary of one executed cell.
+
+    Latency is OSS residence time per RPC — NRS enqueue (``arrived``) to
+    OST service completion — i.e. the queueing delay the bandwidth-control
+    mechanism actually shapes, excluding client-side network latency.
+    """
+
+    scenario: str
+    mechanism: str
+    duration_s: float
+    clients_finished: bool
+    aggregate_mib_s: float
+    #: Node-weighted Jain index: how closely achieved bandwidth tracks the
+    #: paper's priority entitlement (1.0 = perfectly proportional).
+    fairness: float
+    ost_utilization: float
+    per_job_mib_s: Dict[str, float]
+    rpcs_completed: int
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    #: Rule churn, summed over every OST's rule daemon.
+    rules_created: int
+    rules_stopped: int
+    rate_changes: int
+    #: Allocation rounds run, summed over every OST's controller.
+    rounds_run: int
+
+    @property
+    def rule_churn(self) -> int:
+        """Total rule-management operations (created + stopped + re-rated)."""
+        return self.rules_created + self.rules_stopped + self.rate_changes
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "mechanism": self.mechanism,
+            "duration_s": self.duration_s,
+            "clients_finished": self.clients_finished,
+            "aggregate_mib_s": self.aggregate_mib_s,
+            "fairness": self.fairness,
+            "ost_utilization": self.ost_utilization,
+            "per_job_mib_s": dict(self.per_job_mib_s),
+            "rpcs_completed": self.rpcs_completed,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p95_ms": self.latency_p95_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "rules_created": self.rules_created,
+            "rules_stopped": self.rules_stopped,
+            "rate_changes": self.rate_changes,
+            "rule_churn": self.rule_churn,
+            "rounds_run": self.rounds_run,
+        }
+
+
+def run_cell(spec: ScenarioSpec) -> CellRow:
+    """Execute ``spec`` with sweep-trimmed collection and reduce to a row.
+
+    The trim (no allocation history, summary+utilization metrics only)
+    changes what is *retained*, never the simulated physics: a cell's
+    throughput numbers are identical to a full ``run_scenario`` of the same
+    spec.
+    """
+    trimmed = spec.with_policy(keep_history=False).with_run(
+        metrics=CELL_METRICS
+    )
+    cluster = build(trimmed)
+
+    latencies: List[float] = []
+
+    def record_latency(rpc) -> None:
+        if rpc.arrived is not None and rpc.completed is not None:
+            latencies.append(rpc.completed - rpc.arrived)
+
+    for oss in cluster.osses:
+        oss.on_complete(record_latency)
+
+    result = execute(cluster)
+
+    weights = {job_id: float(n) for job_id, n in trimmed.nodes.items()}
+    p50, p95, p99 = (
+        percentile(latencies, q) * 1e3 for q in LATENCY_PERCENTILES
+    )
+    return CellRow(
+        scenario=spec.name,
+        mechanism=result.mechanism,
+        duration_s=result.duration_s,
+        clients_finished=result.clients_finished,
+        aggregate_mib_s=result.summary.aggregate_mib_s,
+        fairness=jain_index(result.summary, weights=weights),
+        ost_utilization=result.ost_utilization,
+        per_job_mib_s=dict(result.summary.per_job_mib_s),
+        rpcs_completed=sum(oss.completed_rpcs for oss in cluster.osses),
+        latency_p50_ms=p50,
+        latency_p95_ms=p95,
+        latency_p99_ms=p99,
+        rules_created=sum(c.daemon.rules_created for c in cluster.controllers),
+        rules_stopped=sum(c.daemon.rules_stopped for c in cluster.controllers),
+        rate_changes=sum(c.daemon.rate_changes for c in cluster.controllers),
+        rounds_run=sum(
+            c.algorithm.rounds_run for c in cluster.controllers
+        ),
+    )
+
+
+@dataclass
+class CampaignSummary:
+    """Streaming cross-cell statistics: ``add`` outcomes, read at the end."""
+
+    cells: int = 0
+    finished_cells: int = 0
+    rpcs_completed: int = 0
+    rule_churn: int = 0
+    wall_s: float = 0.0
+    aggregate_sum: float = 0.0
+    aggregate_min: float = math.inf
+    aggregate_max: float = -math.inf
+    fairness_min: float = math.inf
+    latency_p99_max_ms: float = 0.0
+    best_cell_index: int = -1
+    best_cell_params: Dict[str, Any] = field(default_factory=dict)
+
+    def add(self, outcome) -> None:
+        """Fold one :class:`~repro.campaigns.executor.CellOutcome` in."""
+        row = outcome.row
+        self.cells += 1
+        self.finished_cells += int(row.clients_finished)
+        self.rpcs_completed += row.rpcs_completed
+        self.rule_churn += row.rule_churn
+        self.wall_s += outcome.wall_s
+        self.aggregate_sum += row.aggregate_mib_s
+        self.aggregate_min = min(self.aggregate_min, row.aggregate_mib_s)
+        self.fairness_min = min(self.fairness_min, row.fairness)
+        self.latency_p99_max_ms = max(
+            self.latency_p99_max_ms, row.latency_p99_ms
+        )
+        if row.aggregate_mib_s > self.aggregate_max:
+            self.aggregate_max = row.aggregate_mib_s
+            self.best_cell_index = outcome.index
+            self.best_cell_params = dict(outcome.params)
+
+    @property
+    def aggregate_mean(self) -> float:
+        return self.aggregate_sum / self.cells if self.cells else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "cells": self.cells,
+            "finished_cells": self.finished_cells,
+            "rpcs_completed": self.rpcs_completed,
+            "rule_churn": self.rule_churn,
+            "aggregate_mean_mib_s": self.aggregate_mean,
+            "aggregate_min_mib_s": (
+                self.aggregate_min if self.cells else 0.0
+            ),
+            "aggregate_max_mib_s": (
+                self.aggregate_max if self.cells else 0.0
+            ),
+            "fairness_min": self.fairness_min if self.cells else 1.0,
+            "latency_p99_max_ms": self.latency_p99_max_ms,
+            "best_cell_index": self.best_cell_index,
+            "best_cell_params": dict(self.best_cell_params),
+        }

@@ -1,0 +1,164 @@
+"""Built-in campaign registrations.
+
+The paper's evaluation sweeps, declared once through the campaign engine:
+
+* ``freq-sweep``  — Fig. 9's allocation-period axis over the §IV-F workload
+  (:mod:`repro.experiments.fig9` runs through this campaign);
+* ``burst-grid``  — burst intensity × priority mix over the seeded
+  burst-storm scenario (per-cell derived seeds vary the storm);
+* ``scale-osts``  — OST count × per-OST capacity over the decentralized
+  multi-OST scenario.
+
+Axis values arrive as comma-separated factory parameters so any grid is
+reshapeable from the CLI (``--param intervals=0.1,0.25``); defaults target
+the bench scale so a full campaign finishes in seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.campaigns.registry import CAMPAIGNS
+from repro.campaigns.spec import CampaignSpec, ParameterAxis
+from repro.experiments.fig9 import PAPER_INTERVALS_S
+from repro.workloads.scenarios import BENCH_SCALE
+
+__all__ = ["CAMPAIGNS"]
+
+
+def _floats(csv: str, param: str) -> Tuple[float, ...]:
+    try:
+        values = tuple(float(v) for v in csv.split(",") if v.strip())
+    except ValueError:
+        raise ValueError(
+            f"parameter {param!r}: expected comma-separated numbers, "
+            f"got {csv!r}"
+        ) from None
+    if not values:
+        raise ValueError(f"parameter {param!r} must list at least one value")
+    return values
+
+
+def _ints(csv: str, param: str) -> Tuple[int, ...]:
+    return tuple(int(v) for v in _floats(csv, param))
+
+
+@CAMPAIGNS.register(
+    "freq-sweep",
+    description="Fig. 9: aggregate throughput vs token allocation period",
+)
+def _freq_sweep(
+    intervals: str = "",
+    data_scale: float = BENCH_SCALE,
+    time_scale: float = BENCH_SCALE,
+    heavy_procs: int = 16,
+    window: int = 8,
+    capacity_mib_s: float = 1024.0,
+    seed: int = 0,
+) -> CampaignSpec:
+    """§IV-H through the campaign engine: one cell per observation period.
+
+    ``intervals`` lists the allocation periods in simulated seconds,
+    already scaled; when empty, the paper's 100 ms – 2 s axis is scaled by
+    ``time_scale`` (matching how Fig. 9 keeps the ratio of control period
+    to burst cadence).
+    """
+    if intervals.strip():
+        values = _floats(intervals, "intervals")
+    else:
+        values = tuple(i * time_scale for i in PAPER_INTERVALS_S)
+    return CampaignSpec(
+        name="freq-sweep",
+        scenario="recompensation",
+        axes=(ParameterAxis("interval_s", values),),
+        base_params={
+            "data_scale": data_scale,
+            "time_scale": time_scale,
+            "heavy_procs": heavy_procs,
+            "window": window,
+            "capacity_mib_s": capacity_mib_s,
+        },
+        seed=seed,
+        description=(
+            "Fig. 9 reproduction: the §IV-F workload per allocation period"
+        ),
+    )
+
+
+@CAMPAIGNS.register(
+    "burst-grid",
+    description="burst intensity × priority mix over the seeded burst storm",
+)
+def _burst_grid(
+    scales: str = "0.05,0.1",
+    tenants: str = "4,8",
+    with_hog: bool = True,
+    duration_s: float = 40.0,
+    time_scale: float = BENCH_SCALE,
+    capacity_mib_s: float = 1024.0,
+    seed: int = 0,
+) -> CampaignSpec:
+    """Grid over burst volume (``data_scale``) × tenant count (``n_jobs``).
+
+    Each cell's storm is drawn from its own derived seed, so the grid also
+    samples different randomized priority mixes; pin one mix by registering
+    with ``seed`` in ``base_params`` instead.
+    """
+    return CampaignSpec(
+        name="burst-grid",
+        scenario="burst-storm",
+        axes=(
+            ParameterAxis("data_scale", _floats(scales, "scales")),
+            ParameterAxis("n_jobs", _ints(tenants, "tenants")),
+        ),
+        base_params={
+            "with_hog": with_hog,
+            "duration_s": duration_s,
+            "time_scale": time_scale,
+            "capacity_mib_s": capacity_mib_s,
+        },
+        seed=seed,
+        description=(
+            "many-tenant contention: burst volume × tenant count, one "
+            "seeded storm per cell"
+        ),
+    )
+
+
+@CAMPAIGNS.register(
+    "scale-osts",
+    description="decentralization scaling: OST count × per-OST capacity",
+)
+def _scale_osts(
+    osts: str = "1,2,4",
+    capacities: str = "128,256",
+    file_mib: float = 64.0,
+    procs: int = 4,
+    science_nodes: int = 6,
+    duration: float = 3.0,
+    seed: int = 0,
+) -> CampaignSpec:
+    """Grid over ``n_osts`` × ``capacity_mib_s`` on the multi-OST scenario.
+
+    One independent controller per OST (§II-B), so this maps how aggregate
+    throughput and fairness scale as targets are added or sped up.
+    """
+    return CampaignSpec(
+        name="scale-osts",
+        scenario="multiost",
+        axes=(
+            ParameterAxis("n_osts", _ints(osts, "osts")),
+            ParameterAxis("capacity_mib_s", _floats(capacities, "capacities")),
+        ),
+        base_params={
+            "stripe_count": 1,
+            "file_mib": file_mib,
+            "procs": procs,
+            "science_nodes": science_nodes,
+            "duration": duration,
+        },
+        seed=seed,
+        description=(
+            "per-OST decentralization: cluster width × target speed grid"
+        ),
+    )

@@ -1,0 +1,133 @@
+"""Campaign execution: fan cells out across worker processes.
+
+AdapTBF's per-OST decentralization makes campaign cells embarrassingly
+parallel — each is an independent simulation — so the executor is a thin
+:class:`~concurrent.futures.ProcessPoolExecutor` fan-out:
+
+* ``jobs == 1`` runs every cell serially in-process (no pool, no pickling,
+  fully deterministic — the configuration tests and figure ports use);
+* ``jobs > 1`` submits one task per cell and collects results as they
+  complete (a ``progress`` callback sees completion order), then restores
+  cell-index order, so the aggregated output is identical to a serial run.
+
+Cells are resolved to concrete :class:`ScenarioSpec` objects in the
+*parent* process and shipped to workers as small frozen dataclasses — no
+worker ever consults the scenario registry, so campaigns over scenarios
+registered at runtime (outside ``repro.scenarios.builtin``) work under any
+multiprocessing start method, spawn included.  Only the reduced
+:class:`~repro.campaigns.aggregate.CellRow` travels back; full simulation
+state never crosses processes.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.campaigns.aggregate import CampaignSummary, CellRow, run_cell
+from repro.campaigns.spec import CampaignCell, CampaignSpec
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["CellOutcome", "CampaignResult", "run_campaign"]
+
+#: Signature of the optional progress hook: (outcome, total_cells).
+ProgressCallback = Callable[["CellOutcome", int], None]
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One executed cell: its identity, reduced row and wall time."""
+
+    index: int
+    params: Dict[str, Any]
+    seed: int
+    row: CellRow
+    wall_s: float
+
+
+@dataclass
+class CampaignResult:
+    """All outcomes of one campaign run, in cell-index order."""
+
+    campaign: CampaignSpec
+    jobs: int
+    outcomes: List[CellOutcome]
+    #: Total wall time of the campaign (includes pool startup).
+    wall_s: float
+
+    @property
+    def rows(self) -> List[CellRow]:
+        return [outcome.row for outcome in self.outcomes]
+
+    @property
+    def cells_per_s(self) -> float:
+        return len(self.outcomes) / self.wall_s if self.wall_s > 0 else 0.0
+
+    def summary(self) -> CampaignSummary:
+        reduced = CampaignSummary()
+        for outcome in self.outcomes:
+            reduced.add(outcome)
+        return reduced
+
+
+def _execute_cell(spec: ScenarioSpec, cell: CampaignCell) -> CellOutcome:
+    """Run one pre-resolved cell; the worker-side entry point."""
+    start = time.perf_counter()
+    row = run_cell(spec)
+    return CellOutcome(
+        index=cell.index,
+        params=dict(cell.params),
+        seed=cell.seed,
+        row=row,
+        wall_s=time.perf_counter() - start,
+    )
+
+
+def run_campaign(
+    campaign: CampaignSpec,
+    jobs: int = 1,
+    progress: Optional[ProgressCallback] = None,
+) -> CampaignResult:
+    """Run every cell of ``campaign`` across ``jobs`` worker processes.
+
+    The aggregated rows are independent of ``jobs``: cells are resolved
+    from the same frozen spec, executed by the same deterministic
+    simulator, and re-ordered by cell index after parallel collection.
+    """
+    if jobs <= 0:
+        raise ValueError(f"jobs must be positive, got {jobs}")
+    cells = campaign.cells()
+    total = len(cells)
+    start = time.perf_counter()
+    # Resolve in the parent: registry lookups and parameter validation fail
+    # fast (before any pool spins up), and workers need no registry at all.
+    resolved = [(campaign.resolve(cell), cell) for cell in cells]
+    outcomes: List[CellOutcome] = []
+
+    if jobs == 1 or total <= 1:
+        for spec, cell in resolved:
+            outcome = _execute_cell(spec, cell)
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome, total)
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, total)) as pool:
+            futures = [
+                pool.submit(_execute_cell, spec, cell)
+                for spec, cell in resolved
+            ]
+            for future in as_completed(futures):
+                outcome = future.result()
+                outcomes.append(outcome)
+                if progress is not None:
+                    progress(outcome, total)
+        outcomes.sort(key=lambda outcome: outcome.index)
+
+    return CampaignResult(
+        campaign=campaign,
+        jobs=jobs,
+        outcomes=outcomes,
+        wall_s=time.perf_counter() - start,
+    )

@@ -1,0 +1,39 @@
+"""Named campaign registry.
+
+Campaign *factories* — callables taking keyword parameters and returning a
+:class:`~repro.campaigns.spec.CampaignSpec` — are registered by name so the
+CLI can launch any sweep from a string plus ``k=v`` overrides::
+
+    python -m repro.experiments campaign run freq-sweep --jobs 4
+
+Reuses the generic :class:`~repro.scenarios.registry.FactoryRegistry`
+machinery (schema introspection, CLI coercion, describe), so campaigns and
+scenarios share one parameter-override idiom.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.campaigns.spec import CampaignSpec
+from repro.scenarios.registry import FactoryRegistry, RegisteredFactory
+
+__all__ = ["CampaignRegistry", "CAMPAIGNS"]
+
+
+class CampaignRegistry(FactoryRegistry):
+    """Name → campaign-factory mapping behind the ``campaign`` CLI."""
+
+    kind = "campaign"
+
+    def build(self, name: str, **overrides) -> CampaignSpec:
+        """Materialize the named campaign's spec with parameter overrides."""
+        return self.get(name).build(**overrides)
+
+    def _describe_built(self, entry: RegisteredFactory) -> List[str]:
+        return ["", entry.build().describe()]
+
+
+#: The process-wide default registry; built-in campaigns self-register here
+#: on ``import repro.campaigns``.
+CAMPAIGNS = CampaignRegistry()

@@ -1,0 +1,274 @@
+"""The declarative campaign specification: a parameter sweep over a scenario.
+
+A :class:`CampaignSpec` is a frozen description of a whole *family* of runs —
+the batch-system counterpart of PR 1's single-run ``ScenarioSpec``.  It names
+a base registered scenario and composes one or more :class:`ParameterAxis`
+objects into cells:
+
+* ``grid`` — the Cartesian product of all axes (Fig. 9's interval axis,
+  burst-intensity × priority-mix grids, OST-count × capacity scaling);
+* ``zip``  — axes advanced in lockstep (paired parameters);
+* ``random`` — ``samples`` cells drawn per-axis from a
+  ``random.Random(seed)`` stream (Monte-Carlo style coverage).
+
+Each :class:`CampaignCell` resolves to a concrete
+:class:`~repro.scenarios.spec.ScenarioSpec` through the scenario registry's
+parameter-override machinery — exactly what ``run <scenario> --param k=v``
+does — so any cell is re-runnable standalone from its recorded parameters.
+Cells carry a deterministic RNG seed derived from the campaign seed and the
+cell index (:func:`derive_cell_seed`); scenarios that take a ``seed``
+parameter (e.g. ``burst-storm``) receive it automatically unless the
+campaign pins one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Mapping, Tuple
+
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "AXIS_MODES",
+    "ParameterAxis",
+    "CampaignCell",
+    "CampaignSpec",
+    "derive_cell_seed",
+]
+
+#: How a campaign's axes compose into cells; see :class:`CampaignSpec`.
+AXIS_MODES = ("grid", "zip", "random")
+
+#: ``describe()`` previews at most this many cells.
+_DESCRIBE_CELLS = 8
+
+
+def derive_cell_seed(campaign_seed: int, index: int) -> int:
+    """Deterministic per-cell seed from the campaign seed + cell index.
+
+    Hash-derived (not ``campaign_seed + index``) so neighbouring cells get
+    uncorrelated workload streams, and stable across processes and Python
+    versions — workers and re-runs always agree.
+    """
+    digest = hashlib.sha256(f"{campaign_seed}:{index}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class ParameterAxis:
+    """One swept scenario parameter and the values it takes."""
+
+    param: str
+    values: Tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if not self.param:
+            raise ValueError("axis parameter name must be non-empty")
+        object.__setattr__(self, "values", tuple(self.values))
+        if not self.values:
+            raise ValueError(f"axis {self.param!r} needs at least one value")
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One point of the sweep: parameter overrides plus its derived seed."""
+
+    index: int
+    params: Mapping[str, Any]
+    seed: int
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A frozen, validated sweep declaration.
+
+    Parameters
+    ----------
+    name:
+        Campaign name (registry key).
+    scenario:
+        The base *registered scenario* every cell builds on.
+    axes:
+        Swept parameters; composition follows ``mode``.
+    mode:
+        ``"grid"`` (Cartesian product, the default), ``"zip"`` (lockstep,
+        all axes equal length) or ``"random"`` (``samples`` seeded draws).
+    base_params:
+        Fixed overrides applied to every cell (axis params must not repeat
+        here).  Pin ``seed`` here to make all cells share one workload seed
+        instead of the derived per-cell seeds.
+    samples:
+        Cell count for ``random`` mode (rejected otherwise).
+    seed:
+        Campaign seed: feeds the ``random``-mode draws and every cell's
+        :func:`derive_cell_seed`.
+    """
+
+    name: str
+    scenario: str
+    axes: Tuple[ParameterAxis, ...]
+    mode: str = "grid"
+    base_params: Mapping[str, Any] = field(default_factory=dict)
+    samples: int = 0
+    seed: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("campaign name must be non-empty")
+        if not self.scenario:
+            raise ValueError("campaign must name a base scenario")
+        object.__setattr__(self, "axes", tuple(self.axes))
+        if not self.axes:
+            raise ValueError("campaign needs at least one parameter axis")
+        if self.mode not in AXIS_MODES:
+            raise ValueError(
+                f"unknown campaign mode {self.mode!r}; options: {AXIS_MODES}"
+            )
+        names = [axis.param for axis in self.axes]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ValueError(
+                f"duplicate axis parameter(s): {sorted(duplicates)}"
+            )
+        object.__setattr__(self, "base_params", dict(self.base_params))
+        overlap = set(names) & set(self.base_params)
+        if overlap:
+            raise ValueError(
+                f"parameter(s) {sorted(overlap)} appear both as an axis "
+                "and in base_params"
+            )
+        if self.mode == "zip":
+            lengths = sorted({len(axis.values) for axis in self.axes})
+            if len(lengths) > 1:
+                raise ValueError(
+                    f"zip mode needs equal-length axes, got lengths {lengths}"
+                )
+        if self.mode == "random":
+            if self.samples <= 0:
+                raise ValueError("random mode needs samples > 0")
+        elif self.samples:
+            raise ValueError("samples applies to random mode only")
+
+    # -- cell enumeration --------------------------------------------------
+    @property
+    def n_cells(self) -> int:
+        if self.mode == "grid":
+            count = 1
+            for axis in self.axes:
+                count *= len(axis.values)
+            return count
+        if self.mode == "zip":
+            return len(self.axes[0].values)
+        return self.samples
+
+    def _combinations(self) -> Iterator[Dict[str, Any]]:
+        names = [axis.param for axis in self.axes]
+        if self.mode == "grid":
+            for combo in itertools.product(*(a.values for a in self.axes)):
+                yield dict(zip(names, combo))
+        elif self.mode == "zip":
+            for combo in zip(*(a.values for a in self.axes)):
+                yield dict(zip(names, combo))
+        else:
+            rng = random.Random(self.seed)
+            for _ in range(self.samples):
+                yield {a.param: rng.choice(a.values) for a in self.axes}
+
+    def cells(self) -> Tuple[CampaignCell, ...]:
+        """Every cell of the sweep, in deterministic index order."""
+        return tuple(
+            CampaignCell(
+                index=index,
+                params=params,
+                seed=derive_cell_seed(self.seed, index),
+            )
+            for index, params in enumerate(self._combinations())
+        )
+
+    # -- resolution --------------------------------------------------------
+    def build_params(self, cell: CampaignCell) -> Dict[str, Any]:
+        """The exact factory kwargs ``resolve`` hands to the registry.
+
+        ``base_params`` overlaid with the cell's axis values, plus the
+        derived cell seed whenever the scenario accepts a ``seed``
+        parameter that the campaign did not pin — recording this dict is
+        enough to re-run the cell standalone via ``run <scenario> --param``.
+        """
+        from repro.scenarios import REGISTRY
+
+        entry = REGISTRY.get(self.scenario)
+        params = dict(self.base_params)
+        params.update(cell.params)
+        if "seed" in entry.params:
+            params.setdefault("seed", cell.seed)
+        return params
+
+    def resolve(self, cell: CampaignCell) -> ScenarioSpec:
+        """Materialize one cell into a concrete :class:`ScenarioSpec`."""
+        from repro.scenarios import REGISTRY
+
+        spec = REGISTRY.get(self.scenario).build(**self.build_params(cell))
+        if spec.run.seed != cell.seed:
+            # Stamp the derived seed into the run spec for provenance even
+            # when the scenario factory itself takes no seed.
+            spec = spec.with_run(seed=cell.seed)
+        return spec
+
+    # -- identity ----------------------------------------------------------
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-ready canonical form (drives :meth:`spec_hash`)."""
+        return {
+            "name": self.name,
+            "scenario": self.scenario,
+            "mode": self.mode,
+            "seed": self.seed,
+            "samples": self.samples,
+            "description": self.description,
+            "base_params": dict(self.base_params),
+            "axes": [
+                {"param": axis.param, "values": list(axis.values)}
+                for axis in self.axes
+            ],
+        }
+
+    def spec_hash(self) -> str:
+        """Stable content hash of the campaign declaration."""
+        canonical = json.dumps(
+            self.to_json_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+    # -- description -------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable multi-line summary of the sweep."""
+        lines = [f"campaign: {self.name}"]
+        if self.description:
+            lines.append(f"  {self.description}")
+        lines += [
+            f"scenario: {self.scenario}",
+            f"mode:     {self.mode}, seed={self.seed}, "
+            f"cells={self.n_cells}, hash={self.spec_hash()}",
+            "axes:",
+        ]
+        for axis in self.axes:
+            rendered = ", ".join(f"{v!r}" for v in axis.values)
+            lines.append(f"  {axis.param}: [{rendered}]")
+        if self.base_params:
+            lines.append("base parameters:")
+            for key in sorted(self.base_params):
+                lines.append(f"  {key} = {self.base_params[key]!r}")
+        cells = self.cells()
+        lines.append("cells:")
+        for cell in cells[:_DESCRIBE_CELLS]:
+            pairs = " ".join(
+                f"{k}={v!r}" for k, v in sorted(cell.params.items())
+            )
+            lines.append(f"  [{cell.index}] {pairs} (seed={cell.seed})")
+        if len(cells) > _DESCRIBE_CELLS:
+            lines.append(f"  ... (+{len(cells) - _DESCRIBE_CELLS} more)")
+        return "\n".join(lines)

@@ -27,7 +27,8 @@ Every distribution passes through the shared
 :class:`~repro.core.remainders.RemainderStore` so integer totals are exact
 and fractions are repaid over time (§III-C4).
 
-Interpretation choices where the paper under-specifies (see DESIGN.md §5):
+Interpretation choices where the paper under-specifies (DESIGN.md
+deviations 1, 4 and 5):
 ``u_x`` for first-seen jobs falls back to the current initial allocation;
 ``C`` is a scalar (the Eq. 13 summation leaves no ``x`` dependence); the
 reclaim from a borrower is additionally clamped to its post-redistribution

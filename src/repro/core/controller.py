@@ -21,6 +21,7 @@ from typing import (
     TYPE_CHECKING,
     Callable,
     Dict,
+    List,
     Mapping,
     MutableSequence,
     Optional,

@@ -10,6 +10,8 @@ Usage::
     python -m repro.experiments run fig5 --full         # E2 at paper scale
     python -m repro.experiments run fig7 --csv out/     # E3 + CSV export
     python -m repro.experiments run all                 # every figure, in order
+    python -m repro.experiments campaign list           # registered sweeps
+    python -m repro.experiments campaign run freq-sweep --jobs 4 --out out/
 
 Figure names (``fig3`` … ``fig9``, ``overhead``, ``all``) invoke the paper's
 reproduction adapters — the three-mechanism comparison, report and shape
@@ -28,10 +30,11 @@ import argparse
 import sys
 from typing import Dict, List, Optional
 
+from repro.campaigns import CAMPAIGNS, run_campaign, write_artifacts
 from repro.experiments import fig3_fig4, fig5_fig6, fig7_fig8, fig9, overhead
 from repro.experiments.common import bench_scale, full_scale
 from repro.metrics.export import export_all
-from repro.metrics.report import format_run_report
+from repro.metrics.report import format_campaign_report, format_run_report
 from repro.scenarios import REGISTRY, run_scenario
 from repro.workloads.scenarios import ScenarioConfig
 
@@ -181,6 +184,69 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_campaign_run(args) -> int:
+    name = args.campaign.lower().replace("_", "-")
+    params = _split_params(args.param)
+    try:
+        campaign = CAMPAIGNS.build(name, **CAMPAIGNS.coerce(name, params))
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(exc.args[0] if exc.args else str(exc)) from None
+    print(
+        f"campaign {campaign.name!r}: {campaign.n_cells} cell(s) over "
+        f"scenario {campaign.scenario!r}, jobs={args.jobs}"
+    )
+    done = 0
+
+    def _progress(outcome, total):
+        nonlocal done
+        done += 1
+        pairs = " ".join(
+            f"{k}={v!r}" for k, v in sorted(outcome.params.items())
+        )
+        print(
+            f"  [{done}/{total}] cell {outcome.index}: {pairs} -> "
+            f"{outcome.row.aggregate_mib_s:.1f} MiB/s "
+            f"({outcome.wall_s:.2f}s)"
+        )
+
+    result = run_campaign(campaign, jobs=args.jobs, progress=_progress)
+    print()
+    print(format_campaign_report(result))
+    if args.out:
+        written = write_artifacts(result, args.out)
+        print(
+            "\nartifacts written: "
+            + ", ".join(str(written[k]) for k in sorted(written))
+        )
+    return 0
+
+
+def _cmd_campaign_list(_args) -> int:
+    print("registered campaigns (parameter sweeps through the engine):")
+    for name in CAMPAIGNS.names():
+        entry = CAMPAIGNS.get(name)
+        campaign = entry.build()
+        print(
+            f"  {name:18s} {entry.description} "
+            f"[{campaign.n_cells} cells over {campaign.scenario!r}]"
+        )
+    print()
+    print(
+        "run with: python -m repro.experiments campaign run <name> "
+        "--jobs N [--param k=v ...] [--out DIR]"
+    )
+    return 0
+
+
+def _cmd_campaign_describe(args) -> int:
+    name = args.campaign.lower().replace("_", "-")
+    try:
+        print(CAMPAIGNS.describe(name))
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(exc.args[0] if exc.args else str(exc)) from None
+    return 0
+
+
 def _cmd_list(_args) -> int:
     print("figure adapters (paper reproduction, 3-mechanism comparison):")
     seen = {}
@@ -196,6 +262,11 @@ def _cmd_list(_args) -> int:
     print("registered scenarios (single run through the pipeline):")
     for name in REGISTRY.names():
         entry = REGISTRY.get(name)
+        print(f"  {name:18s} {entry.description}")
+    print()
+    print("registered campaigns (see `campaign list`):")
+    for name in CAMPAIGNS.names():
+        entry = CAMPAIGNS.get(name)
         print(f"  {name:18s} {entry.description}")
     print()
     print(
@@ -284,6 +355,43 @@ def main(argv=None) -> int:
     desc_p = sub.add_parser("describe", help="show a scenario's spec and params")
     desc_p.add_argument("scenario")
     desc_p.set_defaults(handler=_cmd_describe)
+
+    camp_p = sub.add_parser(
+        "campaign", help="declarative parameter sweeps (campaign engine)"
+    )
+    camp_sub = camp_p.add_subparsers(dest="campaign_command", required=True)
+
+    crun_p = camp_sub.add_parser("run", help="run a registered campaign")
+    crun_p.add_argument("campaign", help="registered campaign name")
+    crun_p.add_argument(
+        "--param",
+        action="append",
+        metavar="K=V",
+        help="override a campaign parameter (repeatable; see `describe`)",
+    )
+    crun_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes to fan cells out across (default: 1, serial)",
+    )
+    crun_p.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="write manifest/rows/timing artifacts (JSON + CSV) into DIR",
+    )
+    crun_p.set_defaults(handler=_cmd_campaign_run)
+
+    clist_p = camp_sub.add_parser("list", help="list registered campaigns")
+    clist_p.set_defaults(handler=_cmd_campaign_list)
+
+    cdesc_p = camp_sub.add_parser(
+        "describe", help="show a campaign's axes, parameters and cells"
+    )
+    cdesc_p.add_argument("campaign")
+    cdesc_p.set_defaults(handler=_cmd_campaign_describe)
 
     args = parser.parse_args(argv)
     return args.handler(args)

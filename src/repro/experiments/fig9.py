@@ -6,6 +6,15 @@ control period to burst cadence matches the paper's).  Expected shape:
 aggregate I/O throughput is (weakly) decreasing in the allocation period —
 finer control adapts to bursts faster — which is why the paper selects
 100 ms.
+
+Since PR 2 the sweep itself runs through the campaign engine: ``run``
+builds the registered ``freq-sweep`` campaign (one cell per allocation
+period) and executes it via :func:`repro.campaigns.run_campaign` — pass
+``jobs=N`` to fan the periods out across worker processes.  At the default
+capacity the aggregates are identical to the pre-campaign hand-rolled
+loop; a non-default ``capacity_mib_s`` now also sizes the continuous jobs
+(the registered scenario's semantics, DESIGN.md §2) instead of leaving
+their volume pinned to the scenario config's separate 1024 MiB/s hint.
 """
 
 from __future__ import annotations
@@ -13,10 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.common import as_spec, bench_scale
+from repro.experiments.common import bench_scale
 from repro.metrics.tables import format_table
-from repro.scenarios.runner import RunResult, run_scenario
-from repro.workloads.scenarios import ScenarioConfig, scenario_recompensation
+from repro.workloads.scenarios import ScenarioConfig
 
 __all__ = ["run", "report", "check_shapes", "PAPER_INTERVALS_S"]
 
@@ -29,10 +37,10 @@ class FrequencySweep:
     """Aggregate throughput per allocation interval."""
 
     intervals_s: List[float]
-    results: Dict[float, RunResult]
+    aggregates: Dict[float, float]
 
     def aggregate(self, interval_s: float) -> float:
-        return self.results[interval_s].summary.aggregate_mib_s
+        return self.aggregates[interval_s]
 
 
 @dataclass
@@ -46,21 +54,32 @@ def run(
     scenario_cfg: Optional[ScenarioConfig] = None,
     intervals_s: Sequence[float] = PAPER_INTERVALS_S,
     capacity_mib_s: float = 1024.0,
+    jobs: int = 1,
 ) -> FrequencySweep:
     """Sweep the AdapTBF observation period over the §IV-F workload."""
+    # Function-level import: repro.campaigns.builtin imports this module
+    # for PAPER_INTERVALS_S, so the campaign engine must load lazily.
+    from repro.campaigns import CAMPAIGNS, run_campaign
+
     cfg = scenario_cfg or bench_scale()
-    results: Dict[float, RunResult] = {}
-    scaled: List[float] = []
-    for paper_interval in intervals_s:
-        interval = paper_interval * cfg.time_scale
-        scaled.append(interval)
-        spec = as_spec(
-            scenario_recompensation(cfg),
-            interval_s=interval,
-            capacity_mib_s=capacity_mib_s,
-        )
-        results[interval] = run_scenario(spec)
-    return FrequencySweep(intervals_s=scaled, results=results)
+    scaled = [interval * cfg.time_scale for interval in intervals_s]
+    campaign = CAMPAIGNS.build(
+        "freq-sweep",
+        # str() round-trips floats exactly, so each cell's interval_s is
+        # bit-identical to the scaled value computed here.
+        intervals=",".join(str(interval) for interval in scaled),
+        data_scale=cfg.data_scale,
+        time_scale=cfg.time_scale,
+        heavy_procs=cfg.heavy_procs,
+        window=cfg.window,
+        capacity_mib_s=capacity_mib_s,
+    )
+    result = run_campaign(campaign, jobs=jobs)
+    aggregates = {
+        outcome.params["interval_s"]: outcome.row.aggregate_mib_s
+        for outcome in result.outcomes
+    }
+    return FrequencySweep(intervals_s=scaled, aggregates=aggregates)
 
 
 def check_shapes(sweep: FrequencySweep) -> List[ShapeCheck]:

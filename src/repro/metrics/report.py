@@ -14,9 +14,10 @@ from typing import TYPE_CHECKING
 from repro.metrics.tables import format_table
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.campaigns.executor import CampaignResult
     from repro.scenarios.runner import RunResult
 
-__all__ = ["format_run_report"]
+__all__ = ["format_run_report", "format_campaign_report"]
 
 
 def format_run_report(result: "RunResult") -> str:
@@ -65,4 +66,51 @@ def format_run_report(result: "RunResult") -> str:
                 f"{job}: {tokens:+d}" for job, tokens in sorted(final.items())
             )
             parts.append(f"final lending ledger (first OST): {ledger}")
+    return "\n".join(parts)
+
+
+def format_campaign_report(result: "CampaignResult") -> str:
+    """Render a campaign run: one row per cell plus cross-cell summary."""
+    campaign = result.campaign
+    param_names = sorted(
+        {name for outcome in result.outcomes for name in outcome.params}
+    )
+    rows = []
+    for outcome in result.outcomes:
+        row = outcome.row
+        rows.append(
+            [outcome.index]
+            + [repr(outcome.params.get(name, "")) for name in param_names]
+            + [
+                f"{row.aggregate_mib_s:.1f}",
+                f"{row.fairness:.3f}",
+                f"{row.latency_p99_ms:.1f}",
+                row.rule_churn,
+                f"{outcome.wall_s:.2f}",
+            ]
+        )
+    summary = result.summary()
+    parts = [
+        format_table(
+            ["cell"]
+            + param_names
+            + ["MiB/s", "fairness", "p99 ms", "churn", "wall s"],
+            rows,
+            title=(
+                f"campaign {campaign.name!r} over scenario "
+                f"{campaign.scenario!r} ({len(result.outcomes)} cells, "
+                f"jobs={result.jobs})"
+            ),
+        ),
+        "",
+        f"aggregate MiB/s: mean {summary.aggregate_mean:.1f}, "
+        f"min {summary.aggregate_min:.1f}, max {summary.aggregate_max:.1f} "
+        f"(best cell {summary.best_cell_index}: "
+        + " ".join(
+            f"{k}={v!r}" for k, v in sorted(summary.best_cell_params.items())
+        )
+        + ")",
+        f"wall: {result.wall_s:.2f}s total, {result.cells_per_s:.2f} cells/s "
+        f"with {result.jobs} worker(s); spec hash {campaign.spec_hash()}",
+    ]
     return "\n".join(parts)

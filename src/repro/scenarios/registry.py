@@ -1,9 +1,8 @@
-"""Named scenario registry.
+"""Named factory registries (scenarios, and anything scenario-shaped).
 
-Scenario *factories* — callables taking keyword parameters and returning a
-:class:`~repro.scenarios.spec.ScenarioSpec` — are registered by name so the
-CLI (and tests, sweeps, future sharded runners) can build any workload from
-a string plus ``k=v`` overrides::
+*Factories* — callables taking keyword parameters and returning a built
+object — are registered by name so the CLI (and tests, sweeps, future
+sharded runners) can build anything from a string plus ``k=v`` overrides::
 
     @REGISTRY.register("quickstart", description="2 jobs, 1 OST")
     def _quickstart(file_mib: float = 256.0, ...) -> ScenarioSpec: ...
@@ -11,8 +10,13 @@ a string plus ``k=v`` overrides::
     spec = REGISTRY.build("quickstart", file_mib=64)
 
 Factory keyword defaults double as the parameter schema: ``describe``
-reports them, and :meth:`ScenarioRegistry.coerce` converts CLI strings to
+reports them, and :meth:`FactoryRegistry.coerce` converts CLI strings to
 each default's type.
+
+:class:`FactoryRegistry` is the generic machinery; :class:`ScenarioRegistry`
+specializes it for :class:`~repro.scenarios.spec.ScenarioSpec` factories,
+and :class:`~repro.campaigns.registry.CampaignRegistry` reuses it for
+parameter-sweep campaigns.
 """
 
 from __future__ import annotations
@@ -23,34 +27,48 @@ from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from repro.scenarios.spec import ScenarioSpec
 
-__all__ = ["RegisteredScenario", "ScenarioRegistry", "REGISTRY"]
+__all__ = [
+    "RegisteredFactory",
+    "RegisteredScenario",
+    "FactoryRegistry",
+    "ScenarioRegistry",
+    "REGISTRY",
+]
 
 
 @dataclass(frozen=True)
-class RegisteredScenario:
+class RegisteredFactory:
     """One registry entry: the factory plus its introspected schema."""
 
     name: str
-    factory: Callable[..., ScenarioSpec]
+    factory: Callable[..., Any]
     description: str
     #: Keyword parameters the factory accepts, with their defaults.
     params: Mapping[str, Any]
+    #: What the factory builds ("scenario", "campaign", ...); used in errors.
+    kind: str = "scenario"
 
-    def build(self, **overrides) -> ScenarioSpec:
+    def build(self, **overrides) -> Any:
         unknown = set(overrides) - set(self.params)
         if unknown:
             raise ValueError(
-                f"scenario {self.name!r} has no parameter(s) "
+                f"{self.kind} {self.name!r} has no parameter(s) "
                 f"{sorted(unknown)}; accepted: {sorted(self.params)}"
             )
         return self.factory(**overrides)
+
+
+#: Pre-campaign name for :class:`RegisteredFactory`.
+RegisteredScenario = RegisteredFactory
 
 
 def _normalize(name: str) -> str:
     return name.strip().lower().replace("_", "-")
 
 
-def _signature_params(factory: Callable[..., ScenarioSpec]) -> Dict[str, Any]:
+def _signature_params(
+    factory: Callable[..., Any], kind: str
+) -> Dict[str, Any]:
     params: Dict[str, Any] = {}
     for param in inspect.signature(factory).parameters.values():
         if param.kind in (
@@ -60,25 +78,28 @@ def _signature_params(factory: Callable[..., ScenarioSpec]) -> Dict[str, Any]:
             continue
         if param.default is inspect.Parameter.empty:
             raise ValueError(
-                f"scenario factory {factory.__name__!r}: parameter "
+                f"{kind} factory {factory.__name__!r}: parameter "
                 f"{param.name!r} needs a default (the registry builds "
-                "scenarios from keyword overrides only)"
+                f"{kind}s from keyword overrides only)"
             )
         params[param.name] = param.default
     return params
 
 
-class ScenarioRegistry:
-    """Mutable name → scenario-factory mapping with validation."""
+class FactoryRegistry:
+    """Mutable name → factory mapping with validation and CLI coercion."""
+
+    #: Override in subclasses; names the built object in error messages.
+    kind = "factory"
 
     def __init__(self) -> None:
-        self._entries: Dict[str, RegisteredScenario] = {}
+        self._entries: Dict[str, RegisteredFactory] = {}
 
     # -- registration ------------------------------------------------------
     def register(
         self,
         name: str,
-        factory: Optional[Callable[..., ScenarioSpec]] = None,
+        factory: Optional[Callable[..., Any]] = None,
         *,
         description: str = "",
         overwrite: bool = False,
@@ -86,20 +107,21 @@ class ScenarioRegistry:
         """Register ``factory`` under ``name``; usable as a decorator.
 
         Duplicate names are rejected unless ``overwrite=True`` — silent
-        shadowing of a scenario is almost always a bug in experiment code.
+        shadowing of an entry is almost always a bug in experiment code.
         """
         key = _normalize(name)
         if not key:
-            raise ValueError("scenario name must be non-empty")
+            raise ValueError(f"{self.kind} name must be non-empty")
 
-        def _register(fn: Callable[..., ScenarioSpec]):
+        def _register(fn: Callable[..., Any]):
             if key in self._entries and not overwrite:
-                raise ValueError(f"scenario {key!r} is already registered")
-            self._entries[key] = RegisteredScenario(
+                raise ValueError(f"{self.kind} {key!r} is already registered")
+            self._entries[key] = RegisteredFactory(
                 name=key,
                 factory=fn,
                 description=description or (inspect.getdoc(fn) or "").split("\n")[0],
-                params=_signature_params(fn),
+                params=_signature_params(fn, self.kind),
+                kind=self.kind,
             )
             return fn
 
@@ -117,17 +139,17 @@ class ScenarioRegistry:
     def names(self) -> List[str]:
         return sorted(self._entries)
 
-    def get(self, name: str) -> RegisteredScenario:
+    def get(self, name: str) -> RegisteredFactory:
         key = _normalize(name)
         try:
             return self._entries[key]
         except KeyError:
             raise KeyError(
-                f"unknown scenario {name!r}; registered: {self.names()}"
+                f"unknown {self.kind} {name!r}; registered: {self.names()}"
             ) from None
 
-    def build(self, name: str, **overrides) -> ScenarioSpec:
-        """Materialize the named scenario's spec with parameter overrides."""
+    def build(self, name: str, **overrides) -> Any:
+        """Materialize the named entry with parameter overrides."""
         return self.get(name).build(**overrides)
 
     def coerce(self, name: str, raw: Mapping[str, str]) -> Dict[str, Any]:
@@ -141,7 +163,7 @@ class ScenarioRegistry:
         for key, value in raw.items():
             if key not in entry.params:
                 raise ValueError(
-                    f"scenario {entry.name!r} has no parameter {key!r}; "
+                    f"{self.kind} {entry.name!r} has no parameter {key!r}; "
                     f"accepted: {sorted(entry.params)}"
                 )
             default = entry.params[key]
@@ -149,7 +171,7 @@ class ScenarioRegistry:
         return coerced
 
     def describe(self, name: str) -> str:
-        """Entry description + parameter schema + the default spec."""
+        """Entry description + parameter schema + what the defaults build."""
         entry = self.get(name)
         lines = [f"{entry.name}: {entry.description}"]
         if entry.params:
@@ -158,9 +180,25 @@ class ScenarioRegistry:
                 lines.append(f"  {key} = {default!r}")
         else:
             lines.append("parameters: (none)")
-        lines.append("")
-        lines.append(entry.build().describe())
+        lines.extend(self._describe_built(entry))
         return "\n".join(lines)
+
+    def _describe_built(self, entry: RegisteredFactory) -> List[str]:
+        """Extra ``describe`` lines showing what the defaults build."""
+        return []
+
+
+class ScenarioRegistry(FactoryRegistry):
+    """Name → scenario-factory mapping behind the ``run`` CLI."""
+
+    kind = "scenario"
+
+    def build(self, name: str, **overrides) -> ScenarioSpec:
+        """Materialize the named scenario's spec with parameter overrides."""
+        return self.get(name).build(**overrides)
+
+    def _describe_built(self, entry: RegisteredFactory) -> List[str]:
+        return ["", entry.build().describe()]
 
 
 def _coerce_value(key: str, value: str, default: Any) -> Any:

@@ -1,0 +1,115 @@
+"""Tests for campaign artifacts: layout, determinism, rerunnability."""
+
+import csv
+import json
+
+from repro.campaigns import (
+    CampaignSpec,
+    ParameterAxis,
+    rerun_command,
+    run_campaign,
+    write_artifacts,
+)
+
+
+def tiny_campaign() -> CampaignSpec:
+    return CampaignSpec(
+        name="tiny",
+        scenario="quickstart",
+        axes=(ParameterAxis("capacity_mib_s", (512.0, 1024.0)),),
+        base_params={"file_mib": 8.0, "procs": 2},
+    )
+
+
+class TestLayout:
+    def test_writes_all_four_files(self, tmp_path):
+        result = run_campaign(tiny_campaign(), jobs=1)
+        written = write_artifacts(result, tmp_path / "out")
+        assert set(written) == {"manifest", "rows", "csv", "timing"}
+        for path in written.values():
+            assert path.exists() and path.stat().st_size > 0
+
+    def test_manifest_identifies_every_cell(self, tmp_path):
+        campaign = tiny_campaign()
+        result = run_campaign(campaign, jobs=1)
+        written = write_artifacts(result, tmp_path)
+        manifest = json.loads(written["manifest"].read_text())
+        assert manifest["spec_hash"] == campaign.spec_hash()
+        assert manifest["campaign"]["scenario"] == "quickstart"
+        assert manifest["n_cells"] == 2
+        for cell, outcome in zip(manifest["cells"], result.outcomes):
+            assert cell["index"] == outcome.index
+            assert cell["seed"] == outcome.seed
+            assert cell["params"] == outcome.params
+            # The standalone rerun carries base + axis params.
+            assert "run quickstart" in cell["rerun"]
+            assert "--param file_mib=8.0" in cell["rerun"]
+            assert (
+                f"--param capacity_mib_s={outcome.params['capacity_mib_s']}"
+                in cell["rerun"]
+            )
+
+    def test_rows_json_contains_rows_and_summary(self, tmp_path):
+        result = run_campaign(tiny_campaign(), jobs=1)
+        written = write_artifacts(result, tmp_path)
+        payload = json.loads(written["rows"].read_text())
+        assert len(payload["rows"]) == 2
+        for row in payload["rows"]:
+            assert row["aggregate_mib_s"] > 0
+            assert "latency_p99_ms" in row
+            assert "per_job_mib_s" in row
+        assert payload["summary"]["cells"] == 2
+
+    def test_csv_has_param_and_metric_columns(self, tmp_path):
+        result = run_campaign(tiny_campaign(), jobs=1)
+        written = write_artifacts(result, tmp_path)
+        with written["csv"].open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert rows[0]["capacity_mib_s"] == "512.0"
+        assert float(rows[0]["aggregate_mib_s"]) > 0
+        assert float(rows[0]["mib_s:science"]) > 0
+
+    def test_timing_quarantines_wall_clock(self, tmp_path):
+        result = run_campaign(tiny_campaign(), jobs=1)
+        written = write_artifacts(result, tmp_path)
+        timing = json.loads(written["timing"].read_text())
+        assert timing["jobs"] == 1
+        assert timing["wall_s"] > 0
+        assert len(timing["cells"]) == 2
+        # No wall-clock data may leak into the deterministic files.
+        assert "wall" not in written["rows"].read_text()
+        assert "wall" not in written["manifest"].read_text()
+
+
+class TestDeterminism:
+    def test_rows_and_manifest_bit_identical_across_worker_counts(
+        self, tmp_path
+    ):
+        """The acceptance bar: --jobs 1 and --jobs N agree byte-for-byte on
+        everything except timing.json."""
+        campaign = tiny_campaign()
+        serial = write_artifacts(
+            run_campaign(campaign, jobs=1), tmp_path / "serial"
+        )
+        parallel = write_artifacts(
+            run_campaign(campaign, jobs=4), tmp_path / "parallel"
+        )
+        for key in ("manifest", "rows", "csv"):
+            assert serial[key].read_bytes() == parallel[key].read_bytes(), key
+
+
+class TestRerunCommand:
+    def test_rerun_reproduces_the_cell(self):
+        """Building the scenario from the recorded rerun parameters yields
+        the exact spec the campaign cell ran."""
+        from repro.scenarios import REGISTRY
+
+        campaign = tiny_campaign()
+        result = run_campaign(campaign, jobs=1)
+        outcome = result.outcomes[1]
+        command = rerun_command(result, outcome)
+        assert command.startswith("python -m repro.experiments run quickstart")
+        cell = campaign.cells()[1]
+        rebuilt = REGISTRY.build("quickstart", **campaign.build_params(cell))
+        assert rebuilt == campaign.resolve(cell).with_run(seed=0)

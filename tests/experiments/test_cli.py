@@ -111,3 +111,63 @@ class TestRun:
         finally:
             cli._run_figures = original
         assert captured == {"name": "fig3", "full": True}
+
+
+class TestCampaign:
+    def test_campaign_list(self, capsys):
+        assert main(["campaign", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("freq-sweep", "burst-grid", "scale-osts"):
+            assert name in out
+
+    def test_campaign_describe(self, capsys):
+        assert main(["campaign", "describe", "freq-sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "interval_s" in out
+        assert "recompensation" in out
+        assert "--param" in out
+
+    def test_campaign_describe_unknown_exits(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "describe", "nope"])
+
+    def test_campaign_run_with_artifacts(self, tmp_path, capsys):
+        code = main(
+            [
+                "campaign",
+                "run",
+                "scale-osts",
+                "--param",
+                "osts=1",
+                "--param",
+                "capacities=128",
+                "--param",
+                "file_mib=8",
+                "--param",
+                "procs=2",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign 'scale-osts'" in out
+        assert "MiB/s" in out
+        for artifact in ("manifest.json", "rows.json", "rows.csv", "timing.json"):
+            assert (tmp_path / artifact).exists()
+
+    def test_campaign_run_unknown_param_exits(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "run", "freq-sweep", "--param", "bogus=1"])
+
+    def test_campaign_run_unknown_name_exits(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "run", "not-a-campaign"])
+
+    def test_campaign_underscore_alias(self, capsys):
+        assert main(["campaign", "describe", "freq_sweep"]) == 0
+        assert "freq-sweep" in capsys.readouterr().out
+
+    def test_scenario_list_mentions_campaigns(self, capsys):
+        assert main(["list"]) == 0
+        assert "campaign list" in capsys.readouterr().out

@@ -244,3 +244,97 @@ class TestRateChange:
         drain(s, 0.0)
         assert s.served_with_token == 1
         assert s.served_fallback == 1
+
+
+class TestStaleHeapEntries:
+    """Lazy invalidation: heap entries outlive stops/re-rates and must be
+    skipped by version (or refreshed by deadline) instead of served."""
+
+    def test_next_wake_skips_entry_of_stopped_rule(self):
+        s = TbfScheduler()
+        s.start_rule(0.0, TbfRule("rA", "jobA", rate=1, depth=1))
+        s.enqueue(0.0, make_rpc("jobA"))  # pushes a heap entry
+        s.stop_rule(0.0, "rA")  # bumps the version; entry is now stale
+        # The stale entry must not report a wake deadline for a rule that
+        # no longer exists (its backlog drains via fallback, untimed).
+        assert s.next_wake(0.0) == math.inf
+        got = s.dequeue(0.0)
+        assert got is not None and got.via_fallback
+
+    def test_next_wake_skips_version_stale_entry_after_rerate(self):
+        s = TbfScheduler()
+        s.start_rule(0.0, TbfRule("rA", "jobA", rate=2, depth=1))
+        s.enqueue(0.0, make_rpc("jobA"))
+        s.enqueue(0.0, make_rpc("jobA"))
+        assert s.dequeue(0.0) is not None  # burn the initial token
+        assert s.dequeue(0.0) is None  # re-pushed with deadline +0.5
+        # Re-rate slower: the old +0.5 entry is version-stale; the live
+        # deadline is +2.0 (empty bucket at 0.5 t/s).
+        s.change_rate(0.0, "rA", 0.5)
+        assert s.next_wake(0.0) == pytest.approx(2.0)
+        assert s.dequeue(1.0) is None
+        assert s.dequeue(2.0) is not None
+
+    def test_dequeue_skips_version_stale_entry_after_rerate(self):
+        s = TbfScheduler()
+        s.start_rule(0.0, TbfRule("rA", "jobA", rate=1, depth=1))
+        s.enqueue(0.0, make_rpc("jobA"))
+        s.enqueue(0.0, make_rpc("jobA"))
+        assert s.dequeue(0.0) is not None  # re-pushed with deadline +1.0
+        # Re-rate faster: the stale +1.0 entry sits in the heap next to the
+        # live +0.01 one; dequeue must serve from the live entry only.
+        s.change_rate(0.0, "rA", 100)
+        assert s.dequeue(0.5) is not None
+        assert s.pending == 0
+
+    def test_next_wake_refreshes_deadline_of_rerated_bucket(self):
+        s = TbfScheduler()
+        s.start_rule(0.0, TbfRule("rA", "jobA", rate=2, depth=1))
+        s.enqueue(0.0, make_rpc("jobA"))
+        s.enqueue(0.0, make_rpc("jobA"))
+        assert s.dequeue(0.0) is not None
+        assert s.dequeue(0.0) is None  # heap entry at +0.5
+        # Slow the bucket behind the scheduler's back (no version bump):
+        # the entry's deadline is optimistic and must be re-pushed at the
+        # bucket's actual ready time, not served early.
+        s._by_job["jobA"].bucket.set_rate(0.0, 0.25)
+        assert s.next_wake(0.0) == pytest.approx(4.0)
+        assert s.dequeue(1.0) is None
+        assert s.dequeue(4.0) is not None
+
+
+class TestRankChangeScheduling:
+    def test_change_rate_rank_swap_reorders_deadline_ties(self):
+        s = TbfScheduler()
+        s.start_rule(0.0, TbfRule("rA", "jobA", rate=10, depth=1, rank=0))
+        s.start_rule(0.0, TbfRule("rB", "jobB", rate=10, depth=1, rank=1))
+        a1, a2 = make_rpc("jobA"), make_rpc("jobA")
+        b1, b2 = make_rpc("jobB"), make_rpc("jobB")
+        for rpc in (a1, b1, a2, b2):
+            s.enqueue(0.0, rpc)
+        # Equal full-bucket deadlines: the initial hierarchy serves A first.
+        assert s.dequeue(0.0) is a1
+        assert s.dequeue(0.0) is b1
+        assert s.dequeue(0.0) is None  # both buckets now empty
+        # The daemon demotes A and promotes B mid-flight (same rates).
+        s.change_rate(0.0, "rA", 10, rank=5)
+        s.change_rate(0.0, "rB", 10, rank=0)
+        assert s.get_rule("rA").rank == 5
+        assert s.get_rule("rB").rank == 0
+        # Both refill deadlines mature at +0.1; the new hierarchy decides,
+        # and the pre-change (stale) heap entries must not resurrect the
+        # old order.
+        assert s.dequeue(0.2) is b2
+        assert s.dequeue(0.2) is a2
+
+    def test_change_rate_preserves_accrued_tokens_and_rank(self):
+        s = TbfScheduler()
+        s.start_rule(0.0, TbfRule("rA", "jobA", rate=1, depth=3, rank=2))
+        s.enqueue(0.0, make_rpc("jobA"))
+        s.enqueue(0.0, make_rpc("jobA"))
+        # Only the slope changes: the full depth-3 bucket still serves the
+        # backlog immediately after a re-rate, and rank is untouched when
+        # not passed.
+        s.change_rate(0.0, "rA", 0.001)
+        assert len(drain(s, 0.0)) == 2
+        assert s.get_rule("rA").rank == 2
