@@ -19,7 +19,7 @@ Expected ordering (asserted):
   its cost shows in the records, which drift without bound.
 """
 
-from repro.cluster.builder import ClusterConfig, Mechanism
+from repro.cluster.builder import ClusterConfig
 from repro.cluster.experiment import run_scenario
 from repro.experiments.common import bench_scale
 from repro.metrics.tables import format_table
@@ -33,7 +33,7 @@ def run_ablation():
     results = {}
     for variant in VARIANT_NAMES:
         scenario = scenario_redistribution(cfg)
-        config = ClusterConfig(mechanism=Mechanism.ADAPTBF, variant=variant)
+        config = ClusterConfig(mechanism="adaptbf", variant=variant)
         results[variant] = run_scenario(scenario, config)
     return results
 

@@ -8,7 +8,7 @@ re-compensation step generated.  Estimator choice shifts *when* tokens are
 clawed back, not the ledger's zero-sum accounting.
 """
 
-from repro.cluster.builder import ClusterConfig, Mechanism
+from repro.cluster.builder import ClusterConfig
 from repro.cluster.experiment import run_scenario
 from repro.core.allocation import TokenAllocationAlgorithm
 from repro.core.prediction import (
@@ -34,7 +34,7 @@ def run_comparison():
         scenario = scenario_recompensation(cfg)
         result = run_scenario(
             scenario,
-            ClusterConfig(mechanism=Mechanism.ADAPTBF),
+            ClusterConfig(mechanism="adaptbf"),
             algorithm_factory=lambda f=estimator_factory: TokenAllocationAlgorithm(
                 demand_estimator=f()
             ),

@@ -1,0 +1,77 @@
+"""Bench the bandwidth-mechanism plug-ins: wall time and control-round rate.
+
+Runs one fixed contended scenario (the ``quickstart`` science-vs-hog mix)
+under **every** registered mechanism and emits ``BENCH_mechanisms.json``
+(to the invocation directory, or ``$BENCH_JSON_DIR``): per-mechanism wall
+time, simulated duration, control rounds and rounds/second — the
+machine-readable perf-trajectory data points for the mechanism axis.  New
+mechanisms join the bench the moment they register, so a regressing or
+pathologically slow contender shows up here before it skews a shootout.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.builder import build
+from repro.cluster.experiment import execute
+from repro.core.mechanism import MECHANISMS
+from repro.scenarios import REGISTRY
+
+_RESULTS = {}
+
+#: One fixed workload for every mechanism: identical jobs, topology, seed.
+_SCENARIO = ("quickstart", {"file_mib": 64.0, "procs": 4})
+
+
+def _fixed_spec(mechanism: str):
+    name, params = _SCENARIO
+    return REGISTRY.build(name, **params).with_policy(mechanism=mechanism)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_bench_json():
+    """Write BENCH_mechanisms.json after the module's benches finish."""
+    yield
+    out = Path(os.environ.get("BENCH_JSON_DIR", ".")) / "BENCH_mechanisms.json"
+    out.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.mark.parametrize("mechanism", MECHANISMS.names())
+def test_mechanism_wall_and_round_rate(mechanism, benchmark, print_report):
+    def _run():
+        cluster = build(_fixed_spec(mechanism))
+        result = execute(cluster)
+        return cluster, result
+
+    start = time.perf_counter()
+    cluster, result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    wall_s = time.perf_counter() - start
+
+    rounds = sum(handle.rounds_run for handle in cluster.handles)
+    _RESULTS[mechanism] = {
+        "scenario": _SCENARIO[0],
+        "params": dict(_SCENARIO[1]),
+        "wall_s": wall_s,
+        "simulated_s": result.duration_s,
+        "aggregate_mib_s": result.summary.aggregate_mib_s,
+        "control_rounds": rounds,
+        "rounds_per_wall_s": rounds / wall_s if wall_s > 0 else 0.0,
+        "rules_created": sum(h.rules_created for h in cluster.handles),
+        "rate_changes": sum(h.rate_changes for h in cluster.handles),
+    }
+
+    assert result.clients_finished
+    assert result.summary.aggregate_mib_s > 0
+    # Adaptive mechanisms must actually run their control loop.
+    if mechanism not in ("none", "static"):
+        assert rounds > 0
+    print_report(
+        f"{mechanism}: {result.summary.aggregate_mib_s:.1f} MiB/s over "
+        f"{result.duration_s:.2f}s simulated, {rounds} control rounds in "
+        f"{wall_s:.2f}s wall ({_RESULTS[mechanism]['rounds_per_wall_s']:.0f} "
+        "rounds/s)"
+    )

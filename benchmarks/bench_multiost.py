@@ -7,7 +7,7 @@ composes into a global bandwidth split that tracks the priority ratio, with
 no coordination and no loss of aggregate throughput.
 """
 
-from repro.cluster.builder import ClusterConfig, Mechanism
+from repro.cluster.builder import ClusterConfig
 from repro.cluster.experiment import run_experiment
 from repro.metrics.tables import format_table
 from repro.workloads.patterns import SequentialWritePattern
@@ -40,7 +40,7 @@ def run_sweep(ost_counts=(1, 2, 4, 8)):
     results = {}
     for n_osts in ost_counts:
         config = ClusterConfig(
-            mechanism=Mechanism.ADAPTBF,
+            mechanism="adaptbf",
             n_osts=n_osts,
             capacity_mib_s=1024.0 / n_osts,  # constant total capacity
         )

@@ -9,7 +9,9 @@ Dai, IPPS 2025).  The package layers:
   FIFO/TBF policies, OSS thread pool, processor-sharing OSTs, job stats);
 * :mod:`repro.core` — the AdapTBF framework itself (three-step token
   allocation with lending/borrowing records, remainder fairness, controller
-  and rule daemon) plus the paper's baselines and ablations;
+  and rule daemon) plus the paper's baselines, ablations and the pluggable
+  bandwidth-mechanism protocol/registry (``MECHANISMS``) every contender —
+  including the EWMA-prediction and PID additions — resolves through;
 * :mod:`repro.workloads` — Filebench-style synthetic workloads: the three
   §IV scenarios plus new job mixes (burst storms, elastic churn);
 * :mod:`repro.scenarios` — the declarative pipeline: frozen ``ScenarioSpec``
@@ -37,11 +39,10 @@ from repro.cluster import (
     Cluster,
     ClusterConfig,
     ExperimentResult,
-    Mechanism,
     build_cluster,
     run_experiment,
 )
-from repro.core import AdapTbf, TokenAllocationAlgorithm
+from repro.core import MECHANISMS, AdapTbf, BandwidthMechanism, TokenAllocationAlgorithm
 from repro.scenarios import (
     REGISTRY,
     PolicySpec,
@@ -55,6 +56,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AdapTbf",
+    "BandwidthMechanism",
+    "MECHANISMS",
     "REGISTRY",
     "PolicySpec",
     "RunSpec",
@@ -63,7 +66,6 @@ __all__ = [
     "Cluster",
     "ClusterConfig",
     "ExperimentResult",
-    "Mechanism",
     "TokenAllocationAlgorithm",
     "build_cluster",
     "run_experiment",

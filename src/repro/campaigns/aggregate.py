@@ -155,12 +155,10 @@ def run_cell(spec: ScenarioSpec) -> CellRow:
         latency_p50_ms=p50,
         latency_p95_ms=p95,
         latency_p99_ms=p99,
-        rules_created=sum(c.daemon.rules_created for c in cluster.controllers),
-        rules_stopped=sum(c.daemon.rules_stopped for c in cluster.controllers),
-        rate_changes=sum(c.daemon.rate_changes for c in cluster.controllers),
-        rounds_run=sum(
-            c.algorithm.rounds_run for c in cluster.controllers
-        ),
+        rules_created=sum(h.rules_created for h in cluster.handles),
+        rules_stopped=sum(h.rules_stopped for h in cluster.handles),
+        rate_changes=sum(h.rate_changes for h in cluster.handles),
+        rounds_run=sum(h.rounds_run for h in cluster.handles),
     )
 
 

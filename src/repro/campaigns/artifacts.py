@@ -41,6 +41,10 @@ def rerun_command(result: CampaignResult, outcome: CellOutcome) -> str:
     )
     parts = [f"python -m repro.experiments run {campaign.scenario}"]
     build_params = campaign.build_params(cell)
+    # Policy-level parameters have dedicated CLI flags, not --param.
+    mechanism = build_params.pop("mechanism", None)
+    if mechanism is not None:
+        parts.append(f"--mechanism {mechanism}")
     for key in sorted(build_params):
         parts.append(f"--param {key}={build_params[key]}")
     return " ".join(parts)

@@ -7,7 +7,10 @@ The paper's evaluation sweeps, declared once through the campaign engine:
 * ``burst-grid``  — burst intensity × priority mix over the seeded
   burst-storm scenario (per-cell derived seeds vary the storm);
 * ``scale-osts``  — OST count × per-OST capacity over the decentralized
-  multi-OST scenario.
+  multi-OST scenario;
+* ``mechanism-shootout`` — every registered bandwidth mechanism head-to-head
+  on one contended workload: the §IV-C comparison generalized to the whole
+  mechanism registry (throughput / fairness / latency per mechanism).
 
 Axis values arrive as comma-separated factory parameters so any grid is
 reshapeable from the CLI (``--param intervals=0.1,0.25``); defaults target
@@ -20,7 +23,9 @@ from typing import Tuple
 
 from repro.campaigns.registry import CAMPAIGNS
 from repro.campaigns.spec import CampaignSpec, ParameterAxis
+from repro.core.mechanism import MECHANISMS
 from repro.experiments.fig9 import PAPER_INTERVALS_S
+from repro.registry import normalize_name
 from repro.workloads.scenarios import BENCH_SCALE
 
 __all__ = ["CAMPAIGNS"]
@@ -160,5 +165,61 @@ def _scale_osts(
         seed=seed,
         description=(
             "per-OST decentralization: cluster width × target speed grid"
+        ),
+    )
+
+
+@CAMPAIGNS.register(
+    "mechanism-shootout",
+    description="every registered bandwidth mechanism on one workload",
+)
+def _mechanism_shootout(
+    mechanisms: str = "",
+    scenario: str = "recompensation",
+    data_scale: float = BENCH_SCALE,
+    time_scale: float = BENCH_SCALE,
+    capacity_mib_s: float = 1024.0,
+    seed: int = 0,
+) -> CampaignSpec:
+    """One cell per mechanism on the §IV-F contended workload (by default).
+
+    ``mechanisms`` lists registry names (comma-separated); empty means
+    *every* registered mechanism, so new contenders join the shootout the
+    moment they register.  The campaign report is the per-mechanism
+    throughput/fairness/latency comparison table.
+    """
+    if mechanisms.strip():
+        names = tuple(
+            normalize_name(m) for m in mechanisms.split(",") if m.strip()
+        )
+        for name in names:
+            MECHANISMS.get(name)  # fail fast on unknown contenders
+    else:
+        names = tuple(MECHANISMS.names())
+    if not names:
+        raise ValueError("parameter 'mechanisms' must list at least one name")
+    # Scenarios differ in scale knobs; forward only what this one accepts
+    # so any registered scenario can host the shootout.
+    from repro.scenarios import REGISTRY
+
+    accepted = REGISTRY.get(scenario).params
+    base = {
+        key: value
+        for key, value in (
+            ("data_scale", data_scale),
+            ("time_scale", time_scale),
+            ("capacity_mib_s", capacity_mib_s),
+        )
+        if key in accepted
+    }
+    return CampaignSpec(
+        name="mechanism-shootout",
+        scenario=scenario,
+        axes=(ParameterAxis("mechanism", names),),
+        base_params=base,
+        seed=seed,
+        description=(
+            "head-to-head mechanism comparison: throughput, fairness and "
+            "tail latency per registered mechanism"
         ),
     )

@@ -6,9 +6,9 @@ CLI can launch any sweep from a string plus ``k=v`` overrides::
 
     python -m repro.experiments campaign run freq-sweep --jobs 4
 
-Reuses the generic :class:`~repro.scenarios.registry.FactoryRegistry`
-machinery (schema introspection, CLI coercion, describe), so campaigns and
-scenarios share one parameter-override idiom.
+Reuses the generic :class:`~repro.registry.FactoryRegistry` machinery
+(schema introspection, CLI coercion, describe), so campaigns, scenarios and
+bandwidth mechanisms share one parameter-override idiom.
 """
 
 from __future__ import annotations
@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.campaigns.spec import CampaignSpec
-from repro.scenarios.registry import FactoryRegistry, RegisteredFactory
+from repro.registry import FactoryRegistry, RegisteredFactory
 
 __all__ = ["CampaignRegistry", "CAMPAIGNS"]
 

@@ -15,6 +15,10 @@ Each :class:`CampaignCell` resolves to a concrete
 :class:`~repro.scenarios.spec.ScenarioSpec` through the scenario registry's
 parameter-override machinery — exactly what ``run <scenario> --param k=v``
 does — so any cell is re-runnable standalone from its recorded parameters.
+The reserved parameter :data:`POLICY_PARAMS` (``mechanism``) applies to the
+resolved spec's *policy* instead of the scenario factory, so any campaign
+can sweep the bandwidth mechanism as an axis (the ``mechanism-shootout``
+built-in) without every scenario factory growing a mechanism knob.
 Cells carry a deterministic RNG seed derived from the campaign seed and the
 cell index (:func:`derive_cell_seed`); scenarios that take a ``seed``
 parameter (e.g. ``burst-storm``) receive it automatically unless the
@@ -42,6 +46,10 @@ __all__ = [
 
 #: How a campaign's axes compose into cells; see :class:`CampaignSpec`.
 AXIS_MODES = ("grid", "zip", "random")
+
+#: Cell parameters applied to the resolved spec's policy rather than passed
+#: to the scenario factory (unless the factory itself takes the name).
+POLICY_PARAMS = ("mechanism",)
 
 #: ``describe()`` previews at most this many cells.
 _DESCRIBE_CELLS = 8
@@ -209,10 +217,25 @@ class CampaignSpec:
         return params
 
     def resolve(self, cell: CampaignCell) -> ScenarioSpec:
-        """Materialize one cell into a concrete :class:`ScenarioSpec`."""
+        """Materialize one cell into a concrete :class:`ScenarioSpec`.
+
+        Parameters the scenario factory accepts go to the factory; the
+        reserved :data:`POLICY_PARAMS` are applied to the built spec's
+        policy (``mechanism`` swaps the bandwidth mechanism under test).
+        Anything else is rejected with the factory's own error.
+        """
         from repro.scenarios import REGISTRY
 
-        spec = REGISTRY.get(self.scenario).build(**self.build_params(cell))
+        entry = REGISTRY.get(self.scenario)
+        params = self.build_params(cell)
+        policy_overrides = {
+            key: params.pop(key)
+            for key in POLICY_PARAMS
+            if key in params and key not in entry.params
+        }
+        spec = entry.build(**params)
+        if policy_overrides:
+            spec = spec.with_policy(**policy_overrides)
         if spec.run.seed != cell.seed:
             # Stamp the derived seed into the run spec for provenance even
             # when the scenario factory itself takes no seed.

@@ -16,7 +16,6 @@ from repro.cluster.builder import (
     Cluster,
     ClusterConfig,
     ClusterTopology,
-    Mechanism,
     build,
     build_cluster,
 )
@@ -32,7 +31,6 @@ __all__ = [
     "ClusterConfig",
     "ClusterTopology",
     "ExperimentResult",
-    "Mechanism",
     "build",
     "build_cluster",
     "execute",

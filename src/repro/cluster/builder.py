@@ -3,11 +3,12 @@
 :func:`build` assembles the simulated counterpart of the paper's CloudLab
 testbed (Table II) from a declarative spec: OSS nodes fronting OSTs
 (uniform or heterogeneous link rates), client processes grouped into jobs,
-and one of three bandwidth-control mechanisms:
-
-* ``Mechanism.NONE``     — *No BW*: FIFO NRS, no rate control;
-* ``Mechanism.STATIC``   — *Static BW*: TBF rules fixed at global node share;
-* ``Mechanism.ADAPTBF``  — the paper's framework, one controller per OST.
+and whichever bandwidth-control mechanism the policy names.  Mechanisms are
+resolved through :data:`repro.core.mechanism.MECHANISMS` — the builder has
+no per-mechanism code; it asks the resolved
+:class:`~repro.core.mechanism.BandwidthMechanism` for each OSS's NRS policy
+and then installs the mechanism once per (OSS, OST) pair, so registering a
+new mechanism makes it buildable everywhere with no builder edits.
 
 Simulator defaults stand in for the paper's hardware: the c6525-25g OSS has
 two 480 GB SATA SSDs (~500 MiB/s each) and a 25 GbE NIC, so the OST-bandwidth
@@ -23,18 +24,16 @@ hand; both are thin shims over the spec path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
-from repro.core.baselines import install_static_rules
 from repro.core.framework import AdapTbf
+from repro.core.mechanism import BandwidthMechanism, MechanismHandle
 from repro.lustre.client import ClientProcess
 from repro.lustre.network import Network
-from repro.lustre.nrs import FifoPolicy, TbfPolicy
 from repro.lustre.oss import Oss
 from repro.lustre.ost import Ost
 from repro.scenarios.spec import (
     MIB,
-    Mechanism,
     PolicySpec,
     RunSpec,
     ScenarioSpec,
@@ -44,7 +43,6 @@ from repro.sim.engine import Environment
 from repro.workloads.spec import JobSpec, validate_jobs
 
 __all__ = [
-    "Mechanism",
     "ClusterConfig",
     "Cluster",
     "ClusterTopology",
@@ -62,7 +60,8 @@ class ClusterConfig:
     New code should build a :class:`ScenarioSpec` instead.
     """
 
-    mechanism: Mechanism = Mechanism.ADAPTBF
+    mechanism: str = "adaptbf"
+    mechanism_params: Mapping[str, Any] = ()
     capacity_mib_s: float = 1024.0
     rpc_size: int = MIB
     io_threads: int = 16
@@ -95,6 +94,7 @@ class ClusterConfig:
     def policy_spec(self) -> PolicySpec:
         return PolicySpec(
             mechanism=self.mechanism,
+            mechanism_params=self.mechanism_params,
             interval_s=self.interval_s,
             overhead_s=self.overhead_s,
             bucket_depth=self.bucket_depth,
@@ -134,7 +134,7 @@ class ClusterTopology:
     Single-OST accessors (``ost``, ``oss``, ``adaptbf``) refer to the first
     target and remain the convenient surface for the common one-OST
     experiments; multi-OST code iterates ``osts`` / ``osses`` /
-    ``controllers``.
+    ``handles``.
     """
 
     env: Environment
@@ -143,10 +143,11 @@ class ClusterTopology:
     osses: List[Oss]
     network: Network
     clients: List[ClientProcess] = field(default_factory=list)
-    #: One independent AdapTBF controller per OST (empty for baselines).
-    controllers: List[AdapTbf] = field(default_factory=list)
-    #: Static rule rates per OST (None unless mechanism is STATIC).
-    static_rates: Optional[List[Dict[str, float]]] = None
+    #: The resolved bandwidth mechanism (shared by every OST's handle).
+    mechanism: Optional[BandwidthMechanism] = None
+    #: One installed mechanism handle per OST — decentralized, no shared
+    #: state between them beyond the (static) job→nodes map.
+    handles: List[MechanismHandle] = field(default_factory=list)
 
     @property
     def config(self) -> ClusterConfig:
@@ -154,6 +155,7 @@ class ClusterTopology:
         topo, pol = self.spec.topology, self.spec.policy
         return ClusterConfig(
             mechanism=pol.mechanism,
+            mechanism_params=pol.mechanism_params,
             capacity_mib_s=topo.capacity_mib_s,
             rpc_size=topo.rpc_size,
             io_threads=topo.io_threads,
@@ -169,6 +171,23 @@ class ClusterTopology:
         )
 
     @property
+    def controllers(self) -> List[AdapTbf]:
+        """Per-OST :class:`AdapTbf` facades (empty for other mechanisms)."""
+        return [
+            handle.adaptbf
+            for handle in self.handles
+            if handle.adaptbf is not None
+        ]
+
+    @property
+    def static_rates(self) -> Optional[List[Dict[str, float]]]:
+        """Static rule rates per OST (None unless the mechanism fixes them)."""
+        rates = [handle.static_rates for handle in self.handles]
+        if any(r is not None for r in rates):
+            return [r if r is not None else {} for r in rates]
+        return None
+
+    @property
     def ost(self) -> Ost:
         return self.osts[0]
 
@@ -178,7 +197,8 @@ class ClusterTopology:
 
     @property
     def adaptbf(self) -> Optional[AdapTbf]:
-        return self.controllers[0] if self.controllers else None
+        controllers = self.controllers
+        return controllers[0] if controllers else None
 
     @property
     def client_processes(self):
@@ -187,6 +207,11 @@ class ClusterTopology:
     def all_clients_done(self):
         """Event that fires when every client process has finished."""
         return self.env.all_of(self.client_processes)
+
+    def teardown(self) -> None:
+        """Tear down every OST's mechanism (stop loops, remove rules)."""
+        for handle in self.handles:
+            handle.teardown()
 
     def total_capacity_bps(self) -> float:
         return sum(ost.capacity_bps for ost in self.osts)
@@ -208,63 +233,54 @@ def build(
 ) -> ClusterTopology:
     """Materialize ``spec`` into a ready-to-run :class:`ClusterTopology`.
 
+    The policy's mechanism name resolves through the mechanism registry;
+    ``build`` only sequences resolve → NRS construction → per-OST install.
     ``algorithm_factory`` (no-arg callable returning a
-    :class:`~repro.core.allocation.TokenAllocationAlgorithm`) overrides
-    ``spec.policy.variant`` — the hook for injecting custom estimators or
-    experimental allocator builds; one instance is created per OST.
+    :class:`~repro.core.allocation.TokenAllocationAlgorithm`) overrides the
+    AdapTBF-family algorithm construction — the hook for injecting custom
+    estimators or experimental allocator builds; one instance is created
+    per OST.
     """
-    from repro.core.ablation import VARIANTS
     from repro.lustre.striping import StripeLayout
 
     env = env if env is not None else Environment()
-    topology, policy = spec.topology, spec.policy
+    topology = spec.topology
     validate_jobs(list(spec.jobs))
+    mechanism = spec.policy.resolve_mechanism()
 
     osts: List[Ost] = []
     osses: List[Oss] = []
     for index, capacity_mib_s in enumerate(topology.capacities_mib_s):
         ost = Ost(env, f"OST{index:04d}", capacity_bps=capacity_mib_s * MIB)
-        if policy.mechanism is Mechanism.NONE:
-            nrs = FifoPolicy(env)
-        else:
-            nrs = TbfPolicy(env)
         osts.append(ost)
-        osses.append(Oss(env, ost, nrs, io_threads=topology.io_threads))
+        osses.append(
+            Oss(
+                env,
+                ost,
+                mechanism.nrs_policy(env),
+                io_threads=topology.io_threads,
+            )
+        )
     network = Network(env, latency_s=topology.net_latency_s)
 
-    nodes = {job.job_id: job.nodes for job in spec.jobs}
     cluster = ClusterTopology(
-        env=env, spec=spec, osts=osts, osses=osses, network=network
+        env=env,
+        spec=spec,
+        osts=osts,
+        osses=osses,
+        network=network,
+        mechanism=mechanism,
     )
-
-    if policy.mechanism is Mechanism.STATIC:
-        cluster.static_rates = [
-            install_static_rules(
-                oss.policy,
-                nodes=nodes,
-                max_token_rate=topology.max_token_rate(index),
-                bucket_depth=policy.bucket_depth,
-            )
-            for index, oss in enumerate(osses)
-        ]
-    elif policy.mechanism is Mechanism.ADAPTBF:
-        factory = algorithm_factory or VARIANTS[policy.variant]
-        # Decentralized: one controller per OST, no shared state between
-        # them beyond the (static) job→nodes map.
-        cluster.controllers = [
-            AdapTbf(
-                env,
-                oss,
-                nodes=nodes,
-                max_token_rate=topology.max_token_rate(index),
-                interval_s=policy.interval_s,
-                overhead_s=policy.overhead_s,
-                bucket_depth=policy.bucket_depth,
-                algorithm=factory(),
-                keep_history=policy.keep_history,
-            )
-            for index, oss in enumerate(osses)
-        ]
+    cluster.handles = [
+        mechanism.install(
+            env,
+            oss,
+            spec,
+            ost_index=index,
+            algorithm_factory=algorithm_factory,
+        )
+        for index, oss in enumerate(osses)
+    ]
 
     # Round-robin file placement: process k's file starts on OST
     # (k mod n_osts) and spans `stripe_count` targets, like Lustre's

@@ -107,14 +107,20 @@ def execute(cluster: ClusterTopology) -> ExperimentResult:
         finished = done.processed
 
     summary = summarize(
-        mechanism=spec.policy.mechanism.value,
+        mechanism=spec.policy.mechanism,
         timeline=timeline,
         duration_s=duration,
         jobs=spec.job_ids,
         job_completion_s=completion,
     )
     if spec.run.wants("history"):
-        histories = [list(ctrl.history) for ctrl in cluster.controllers]
+        # Uniform across mechanisms: handles that retain allocation rounds
+        # (the AdapTBF family) contribute one history per OST.
+        histories = [
+            list(handle.history)
+            for handle in cluster.handles
+            if handle.history is not None
+        ]
     else:
         histories = []
     utilization = (
@@ -123,7 +129,7 @@ def execute(cluster: ClusterTopology) -> ExperimentResult:
         else 0.0
     )
     return ExperimentResult(
-        mechanism=spec.policy.mechanism.value,
+        mechanism=spec.policy.mechanism,
         duration_s=duration,
         timeline=timeline,
         summary=summary,

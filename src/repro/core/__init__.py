@@ -17,13 +17,25 @@ The package mirrors the architecture of paper Fig. 2:
 * :mod:`repro.core.baselines` — the paper's §IV-C comparison points
   (*No BW*, *Static BW*);
 * :mod:`repro.core.ablation` — allocator variants that disable individual
-  design elements, used by the ablation benches.
+  design elements, used by the ablation benches;
+* :mod:`repro.core.mechanism` — the pluggable bandwidth-mechanism protocol
+  and the :data:`MECHANISMS` registry every contender resolves through;
+* :mod:`repro.core.pid` — the control-theoretic PID rate controller
+  (a registered contender from outside the paper).
 """
 
 from repro.core.allocation import TokenAllocationAlgorithm
 from repro.core.baselines import StaticBwAllocator, install_static_rules
 from repro.core.controller import SystemStatsController
 from repro.core.framework import AdapTbf
+from repro.core.mechanism import (
+    MECHANISMS,
+    BandwidthMechanism,
+    MechanismHandle,
+    MechanismRegistry,
+    PeriodicDriver,
+)
+from repro.core.pid import PidRateMechanism  # noqa: F401  (self-registers "pid")
 from repro.core.records import JobRecords
 from repro.core.remainders import RemainderStore
 from repro.core.rule_daemon import RuleManagementDaemon
@@ -37,6 +49,12 @@ from repro.core.types import (
 
 __all__ = [
     "AdapTbf",
+    "BandwidthMechanism",
+    "MECHANISMS",
+    "MechanismHandle",
+    "MechanismRegistry",
+    "PeriodicDriver",
+    "PidRateMechanism",
     "AllocationInput",
     "AllocationResult",
     "AllocationRound",

@@ -43,7 +43,8 @@ def install_static_rules(
     if total <= 0:
         raise ValueError("total nodes must be positive")
     rates: Dict[str, float] = {}
-    ranks = sorted(nodes, key=lambda j: (-nodes[j], j))
+    ordered = sorted(nodes, key=lambda j: (-nodes[j], j))
+    rank_of = {job: rank for rank, job in enumerate(ordered)}
     for job, n in nodes.items():
         if n <= 0:
             raise ValueError(f"job {job!r}: nodes must be positive")
@@ -55,7 +56,7 @@ def install_static_rules(
                 job_id=job,
                 rate=rate,
                 depth=bucket_depth,
-                rank=ranks.index(job),
+                rank=rank_of[job],
             )
         )
     return rates
@@ -84,11 +85,15 @@ class StaticBwAllocator:
             tokens = int(total * share)
             demand = int(inputs.demands.get(job, 0))
             allocations[job] = tokens
+            # Mirror TokenAllocationAlgorithm._utilization's fallback chain
+            # (DESIGN.md §1): a zero-token grant falls back to 1 token, so a
+            # job with positive demand reports a finite deficit (u > 0)
+            # instead of masquerading as idle with u = 0.
             per_job[job] = JobAllocation(
                 job_id=job,
                 priority=share,
                 demand=demand,
-                utilization=demand / tokens if tokens else 0.0,
+                utilization=demand / tokens if tokens > 0 else float(demand),
                 initial=tokens,
                 surplus=0,
                 redistribution_share=0,

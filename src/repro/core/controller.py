@@ -111,6 +111,7 @@ class SystemStatsController:
                 )
             self.history = deque(maxlen=keep_history)
         self._on_round: List[Callable[[AllocationRound], None]] = []
+        self._stopped = False
         self.process = env.process(self._loop(), name="adaptbf.controller")
 
     def on_round(self, callback: Callable[[AllocationRound], None]) -> None:
@@ -123,11 +124,27 @@ class SystemStatsController:
             raise ValueError(f"nodes must be positive, got {nodes}")
         self.nodes[job_id] = nodes
 
+    def current_demands(self) -> Dict[str, int]:
+        """This period's demand signal from a fresh tracker snapshot.
+
+        Read-only: the tracker is *not* cleared, so the running loop's next
+        round sees the same period it would have anyway.  This is the
+        observation half of the round, exposed for the mechanism protocol's
+        ``observe`` hook and for tests.
+        """
+        return self._demands(self.jobstats.snapshot())
+
+    def stop(self) -> None:
+        """Halt the observation loop; it exits at its next wake-up."""
+        self._stopped = True
+
     # -- the loop ----------------------------------------------------------------
     def _loop(self):
         env = self.env
         while True:
             yield env.timeout(self.interval_s)
+            if self._stopped:
+                return
             snapshot = self.jobstats.snapshot()
             demands = self._demands(snapshot)
             result: Optional[AllocationResult] = None

@@ -12,6 +12,11 @@ Usage::
     python -m repro.experiments run all                 # every figure, in order
     python -m repro.experiments campaign list           # registered sweeps
     python -m repro.experiments campaign run freq-sweep --jobs 4 --out out/
+    python -m repro.experiments mechanism list          # registered mechanisms
+    python -m repro.experiments mechanism describe pid  # knobs + behaviour
+    python -m repro.experiments run quickstart --mechanism pid \\
+        --mechanism-param kp=0.8                        # any registered mech
+    python -m repro.experiments campaign run mechanism-shootout --jobs 2
 
 Figure names (``fig3`` … ``fig9``, ``overhead``, ``all``) invoke the paper's
 reproduction adapters — the three-mechanism comparison, report and shape
@@ -31,10 +36,15 @@ import sys
 from typing import Dict, List, Optional
 
 from repro.campaigns import CAMPAIGNS, run_campaign, write_artifacts
+from repro.core.mechanism import MECHANISMS
 from repro.experiments import fig3_fig4, fig5_fig6, fig7_fig8, fig9, overhead
 from repro.experiments.common import bench_scale, full_scale
 from repro.metrics.export import export_all
-from repro.metrics.report import format_campaign_report, format_run_report
+from repro.metrics.report import (
+    format_campaign_report,
+    format_mechanism_table,
+    format_run_report,
+)
 from repro.scenarios import REGISTRY, run_scenario
 from repro.workloads.scenarios import ScenarioConfig
 
@@ -113,11 +123,16 @@ def _run_overhead() -> bool:
 
 
 def _run_figures(name: str, args, params: Dict[str, str]) -> bool:
-    if args.duration is not None or args.mechanism is not None:
+    if (
+        args.duration is not None
+        or args.mechanism is not None
+        or args.mechanism_param
+    ):
         raise SystemExit(
-            "--duration/--mechanism apply to registered scenarios; figure "
-            "adapters always run their paper-defined duration under all "
-            "three mechanisms (scale them with --param time_scale=...)"
+            "--duration/--mechanism/--mechanism-param apply to registered "
+            "scenarios; figure adapters always run their paper-defined "
+            "duration under all three mechanisms (scale them with "
+            "--param time_scale=...)"
         )
     if name == "overhead" and (args.full or params):
         raise SystemExit(
@@ -151,8 +166,23 @@ def _run_registered(name: str, args, params: Dict[str, str]) -> bool:
         spec = REGISTRY.build(name, **REGISTRY.coerce(name, params))
         if args.duration is not None:
             spec = spec.with_run(duration_s=args.duration)
+        mech_params = _split_params(getattr(args, "mechanism_param", None))
+        # One with_policy call: params are coerced against the mechanism
+        # actually taking effect, never a stale one.
+        policy_changes = {}
         if args.mechanism is not None:
-            spec = spec.with_policy(mechanism=args.mechanism)
+            policy_changes["mechanism"] = args.mechanism
+        if mech_params:
+            target = (
+                args.mechanism
+                if args.mechanism is not None
+                else spec.policy.mechanism
+            )
+            policy_changes["mechanism_params"] = MECHANISMS.coerce(
+                target, mech_params
+            )
+        if policy_changes:
+            spec = spec.with_policy(**policy_changes)
     except (KeyError, ValueError) as exc:
         # KeyError's str() wraps the message in repr quotes; unwrap it.
         raise SystemExit(exc.args[0] if exc.args else str(exc)) from None
@@ -212,6 +242,9 @@ def _cmd_campaign_run(args) -> int:
     result = run_campaign(campaign, jobs=args.jobs, progress=_progress)
     print()
     print(format_campaign_report(result))
+    if any(axis.param == "mechanism" for axis in campaign.axes):
+        print()
+        print(format_mechanism_table(result))
     if args.out:
         written = write_artifacts(result, args.out)
         print(
@@ -247,6 +280,30 @@ def _cmd_campaign_describe(args) -> int:
     return 0
 
 
+def _cmd_mechanism_list(_args) -> int:
+    print("registered bandwidth mechanisms (select with --mechanism):")
+    for name in MECHANISMS.names():
+        entry = MECHANISMS.get(name)
+        print(f"  {name:18s} {entry.description}")
+    print()
+    print(
+        "run with:   python -m repro.experiments run <scenario> "
+        "--mechanism <name> [--mechanism-param k=v ...]\n"
+        "sweep with: python -m repro.experiments campaign run "
+        "mechanism-shootout [--param mechanisms=a,b ...]"
+    )
+    return 0
+
+
+def _cmd_mechanism_describe(args) -> int:
+    try:
+        # The registry normalizes names itself (repro.registry.normalize_name).
+        print(MECHANISMS.describe(args.mechanism))
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(exc.args[0] if exc.args else str(exc)) from None
+    return 0
+
+
 def _cmd_list(_args) -> int:
     print("figure adapters (paper reproduction, 3-mechanism comparison):")
     seen = {}
@@ -267,6 +324,11 @@ def _cmd_list(_args) -> int:
     print("registered campaigns (see `campaign list`):")
     for name in CAMPAIGNS.names():
         entry = CAMPAIGNS.get(name)
+        print(f"  {name:18s} {entry.description}")
+    print()
+    print("registered mechanisms (see `mechanism list`):")
+    for name in MECHANISMS.names():
+        entry = MECHANISMS.get(name)
         print(f"  {name:18s} {entry.description}")
     print()
     print(
@@ -331,9 +393,17 @@ def main(argv=None) -> int:
     )
     run_p.add_argument(
         "--mechanism",
-        choices=("none", "static", "adaptbf"),
         default=None,
-        help="override the bandwidth-control mechanism (registered scenarios)",
+        metavar="NAME",
+        help="override the bandwidth-control mechanism with any registered "
+        "name (see `mechanism list`)",
+    )
+    run_p.add_argument(
+        "--mechanism-param",
+        action="append",
+        metavar="K=V",
+        help="override a mechanism factory parameter (repeatable; see "
+        "`mechanism describe <name>`)",
     )
     run_p.add_argument(
         "--full",
@@ -392,6 +462,20 @@ def main(argv=None) -> int:
     )
     cdesc_p.add_argument("campaign")
     cdesc_p.set_defaults(handler=_cmd_campaign_describe)
+
+    mech_p = sub.add_parser(
+        "mechanism", help="pluggable bandwidth-control mechanisms"
+    )
+    mech_sub = mech_p.add_subparsers(dest="mechanism_command", required=True)
+
+    mlist_p = mech_sub.add_parser("list", help="list registered mechanisms")
+    mlist_p.set_defaults(handler=_cmd_mechanism_list)
+
+    mdesc_p = mech_sub.add_parser(
+        "describe", help="show a mechanism's parameters and behaviour"
+    )
+    mdesc_p.add_argument("mechanism")
+    mdesc_p.set_defaults(handler=_cmd_mechanism_describe)
 
     args = parser.parse_args(argv)
     return args.handler(args)

@@ -14,9 +14,8 @@ from typing import Dict, List, Optional, Union
 
 from repro.metrics.summary import BandwidthSummary, gains_versus
 from repro.metrics.tables import format_gains, format_series, format_table
-from repro.scenarios.runner import RunResult, run_mechanisms
+from repro.scenarios.runner import PAPER_MECHANISMS, RunResult, run_mechanisms
 from repro.scenarios.spec import (
-    Mechanism,
     PolicySpec,
     RunSpec,
     ScenarioSpec,
@@ -33,8 +32,8 @@ __all__ = [
     "compare_mechanisms",
 ]
 
-#: The three mechanisms of §IV-C, in presentation order.
-MECHANISMS = (Mechanism.NONE, Mechanism.STATIC, Mechanism.ADAPTBF)
+#: The three mechanism names of §IV-C, in presentation order.
+MECHANISMS = PAPER_MECHANISMS
 
 
 def full_scale() -> ScenarioConfig:
@@ -84,22 +83,22 @@ def as_spec(
 
 @dataclass
 class MechanismComparison:
-    """Results of one scenario run under all three mechanisms."""
+    """Results of one scenario run under several mechanisms."""
 
     scenario: Union[Scenario, ScenarioSpec]
-    results: Dict[str, RunResult]  # keyed by Mechanism.value
+    results: Dict[str, RunResult]  # keyed by registered mechanism name
 
     @property
     def none(self) -> RunResult:
-        return self.results[Mechanism.NONE.value]
+        return self.results["none"]
 
     @property
     def static(self) -> RunResult:
-        return self.results[Mechanism.STATIC.value]
+        return self.results["static"]
 
     @property
     def adaptbf(self) -> RunResult:
-        return self.results[Mechanism.ADAPTBF.value]
+        return self.results["adaptbf"]
 
     @property
     def job_ids(self) -> List[str]:

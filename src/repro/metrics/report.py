@@ -17,7 +17,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.campaigns.executor import CampaignResult
     from repro.scenarios.runner import RunResult
 
-__all__ = ["format_run_report", "format_campaign_report"]
+__all__ = [
+    "format_run_report",
+    "format_campaign_report",
+    "format_mechanism_table",
+]
 
 
 def format_run_report(result: "RunResult") -> str:
@@ -114,3 +118,53 @@ def format_campaign_report(result: "CampaignResult") -> str:
         f"with {result.jobs} worker(s); spec hash {campaign.spec_hash()}",
     ]
     return "\n".join(parts)
+
+
+def format_mechanism_table(result: "CampaignResult") -> str:
+    """Per-mechanism comparison: throughput, fairness, latency, churn.
+
+    The shootout view of a campaign whose cells sweep ``mechanism``: one
+    row per mechanism (cells of the same mechanism averaged), ranked by
+    aggregate throughput so the head-to-head ordering is immediate.
+    """
+    buckets: "dict" = {}
+    for outcome in result.outcomes:
+        mechanism = outcome.params.get("mechanism", outcome.row.mechanism)
+        buckets.setdefault(mechanism, []).append(outcome.row)
+
+    def mean(values):
+        return sum(values) / len(values) if values else 0.0
+
+    ranked = sorted(
+        buckets.items(),
+        key=lambda item: -mean([r.aggregate_mib_s for r in item[1]]),
+    )
+    rows = []
+    for mechanism, cell_rows in ranked:
+        rows.append(
+            [
+                mechanism,
+                f"{mean([r.aggregate_mib_s for r in cell_rows]):.1f}",
+                f"{mean([r.fairness for r in cell_rows]):.3f}",
+                f"{mean([r.latency_p50_ms for r in cell_rows]):.1f}",
+                f"{mean([r.latency_p99_ms for r in cell_rows]):.1f}",
+                f"{mean([r.rule_churn for r in cell_rows]):.0f}",
+                f"{mean([r.ost_utilization for r in cell_rows]):.2f}",
+            ]
+        )
+    return format_table(
+        [
+            "mechanism",
+            "MiB/s",
+            "fairness",
+            "p50 ms",
+            "p99 ms",
+            "churn",
+            "util",
+        ],
+        rows,
+        title=(
+            f"mechanism shootout over scenario "
+            f"{result.campaign.scenario!r} (ranked by throughput)"
+        ),
+    )

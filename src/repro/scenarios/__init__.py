@@ -16,7 +16,6 @@ The subsystem that turns a *description* of an experiment into results::
 
 from repro.scenarios.registry import REGISTRY, RegisteredScenario, ScenarioRegistry
 from repro.scenarios.spec import (
-    Mechanism,
     PolicySpec,
     RunSpec,
     ScenarioSpec,
@@ -31,7 +30,12 @@ from repro.scenarios import builtin as _builtin  # noqa: F401  (side effect)
 #: The runner pulls in the cluster layer, which itself consumes the spec
 #: family from this package — deferring the import keeps the package
 #: importable from either end of that chain.
-_RUNNER_EXPORTS = ("RunResult", "run_mechanisms", "run_scenario")
+_RUNNER_EXPORTS = (
+    "PAPER_MECHANISMS",
+    "RunResult",
+    "run_mechanisms",
+    "run_scenario",
+)
 
 
 def __getattr__(name: str):
@@ -42,7 +46,7 @@ def __getattr__(name: str):
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
-    "Mechanism",
+    "PAPER_MECHANISMS",
     "PolicySpec",
     "REGISTRY",
     "RegisteredScenario",

@@ -1,30 +1,24 @@
-"""Named factory registries (scenarios, and anything scenario-shaped).
+"""Named scenario registry behind the ``run`` CLI.
 
-*Factories* — callables taking keyword parameters and returning a built
-object — are registered by name so the CLI (and tests, sweeps, future
-sharded runners) can build anything from a string plus ``k=v`` overrides::
+The generic factory machinery lives in :mod:`repro.registry` (shared with
+campaigns and bandwidth mechanisms); this module specializes it for
+:class:`~repro.scenarios.spec.ScenarioSpec` factories and hosts the
+process-wide default :data:`REGISTRY`::
 
     @REGISTRY.register("quickstart", description="2 jobs, 1 OST")
     def _quickstart(file_mib: float = 256.0, ...) -> ScenarioSpec: ...
 
     spec = REGISTRY.build("quickstart", file_mib=64)
 
-Factory keyword defaults double as the parameter schema: ``describe``
-reports them, and :meth:`FactoryRegistry.coerce` converts CLI strings to
-each default's type.
-
-:class:`FactoryRegistry` is the generic machinery; :class:`ScenarioRegistry`
-specializes it for :class:`~repro.scenarios.spec.ScenarioSpec` factories,
-and :class:`~repro.campaigns.registry.CampaignRegistry` reuses it for
-parameter-sweep campaigns.
+``FactoryRegistry`` and ``RegisteredFactory`` are re-exported here for
+callers that predate the shared module.
 """
 
 from __future__ import annotations
 
-import inspect
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Optional
+from typing import List
 
+from repro.registry import FactoryRegistry, RegisteredFactory
 from repro.scenarios.spec import ScenarioSpec
 
 __all__ = [
@@ -35,157 +29,8 @@ __all__ = [
     "REGISTRY",
 ]
 
-
-@dataclass(frozen=True)
-class RegisteredFactory:
-    """One registry entry: the factory plus its introspected schema."""
-
-    name: str
-    factory: Callable[..., Any]
-    description: str
-    #: Keyword parameters the factory accepts, with their defaults.
-    params: Mapping[str, Any]
-    #: What the factory builds ("scenario", "campaign", ...); used in errors.
-    kind: str = "scenario"
-
-    def build(self, **overrides) -> Any:
-        unknown = set(overrides) - set(self.params)
-        if unknown:
-            raise ValueError(
-                f"{self.kind} {self.name!r} has no parameter(s) "
-                f"{sorted(unknown)}; accepted: {sorted(self.params)}"
-            )
-        return self.factory(**overrides)
-
-
 #: Pre-campaign name for :class:`RegisteredFactory`.
 RegisteredScenario = RegisteredFactory
-
-
-def _normalize(name: str) -> str:
-    return name.strip().lower().replace("_", "-")
-
-
-def _signature_params(
-    factory: Callable[..., Any], kind: str
-) -> Dict[str, Any]:
-    params: Dict[str, Any] = {}
-    for param in inspect.signature(factory).parameters.values():
-        if param.kind in (
-            inspect.Parameter.VAR_POSITIONAL,
-            inspect.Parameter.VAR_KEYWORD,
-        ):
-            continue
-        if param.default is inspect.Parameter.empty:
-            raise ValueError(
-                f"{kind} factory {factory.__name__!r}: parameter "
-                f"{param.name!r} needs a default (the registry builds "
-                f"{kind}s from keyword overrides only)"
-            )
-        params[param.name] = param.default
-    return params
-
-
-class FactoryRegistry:
-    """Mutable name → factory mapping with validation and CLI coercion."""
-
-    #: Override in subclasses; names the built object in error messages.
-    kind = "factory"
-
-    def __init__(self) -> None:
-        self._entries: Dict[str, RegisteredFactory] = {}
-
-    # -- registration ------------------------------------------------------
-    def register(
-        self,
-        name: str,
-        factory: Optional[Callable[..., Any]] = None,
-        *,
-        description: str = "",
-        overwrite: bool = False,
-    ):
-        """Register ``factory`` under ``name``; usable as a decorator.
-
-        Duplicate names are rejected unless ``overwrite=True`` — silent
-        shadowing of an entry is almost always a bug in experiment code.
-        """
-        key = _normalize(name)
-        if not key:
-            raise ValueError(f"{self.kind} name must be non-empty")
-
-        def _register(fn: Callable[..., Any]):
-            if key in self._entries and not overwrite:
-                raise ValueError(f"{self.kind} {key!r} is already registered")
-            self._entries[key] = RegisteredFactory(
-                name=key,
-                factory=fn,
-                description=description or (inspect.getdoc(fn) or "").split("\n")[0],
-                params=_signature_params(fn, self.kind),
-                kind=self.kind,
-            )
-            return fn
-
-        if factory is not None:
-            return _register(factory)
-        return _register
-
-    def unregister(self, name: str) -> None:
-        self._entries.pop(_normalize(name), None)
-
-    # -- lookup ------------------------------------------------------------
-    def __contains__(self, name: str) -> bool:
-        return _normalize(name) in self._entries
-
-    def names(self) -> List[str]:
-        return sorted(self._entries)
-
-    def get(self, name: str) -> RegisteredFactory:
-        key = _normalize(name)
-        try:
-            return self._entries[key]
-        except KeyError:
-            raise KeyError(
-                f"unknown {self.kind} {name!r}; registered: {self.names()}"
-            ) from None
-
-    def build(self, name: str, **overrides) -> Any:
-        """Materialize the named entry with parameter overrides."""
-        return self.get(name).build(**overrides)
-
-    def coerce(self, name: str, raw: Mapping[str, str]) -> Dict[str, Any]:
-        """Convert CLI-style string parameters to the factory's types.
-
-        Each value is parsed according to the type of the factory's default
-        for that parameter (bool accepts ``1/0/true/false/yes/no``).
-        """
-        entry = self.get(name)
-        coerced: Dict[str, Any] = {}
-        for key, value in raw.items():
-            if key not in entry.params:
-                raise ValueError(
-                    f"{self.kind} {entry.name!r} has no parameter {key!r}; "
-                    f"accepted: {sorted(entry.params)}"
-                )
-            default = entry.params[key]
-            coerced[key] = _coerce_value(key, value, default)
-        return coerced
-
-    def describe(self, name: str) -> str:
-        """Entry description + parameter schema + what the defaults build."""
-        entry = self.get(name)
-        lines = [f"{entry.name}: {entry.description}"]
-        if entry.params:
-            lines.append("parameters (override with --param k=v):")
-            for key, default in entry.params.items():
-                lines.append(f"  {key} = {default!r}")
-        else:
-            lines.append("parameters: (none)")
-        lines.extend(self._describe_built(entry))
-        return "\n".join(lines)
-
-    def _describe_built(self, entry: RegisteredFactory) -> List[str]:
-        """Extra ``describe`` lines showing what the defaults build."""
-        return []
 
 
 class ScenarioRegistry(FactoryRegistry):
@@ -199,30 +44,6 @@ class ScenarioRegistry(FactoryRegistry):
 
     def _describe_built(self, entry: RegisteredFactory) -> List[str]:
         return ["", entry.build().describe()]
-
-
-def _coerce_value(key: str, value: str, default: Any) -> Any:
-    if isinstance(default, bool):
-        lowered = str(value).strip().lower()
-        if lowered in ("1", "true", "yes", "on"):
-            return True
-        if lowered in ("0", "false", "no", "off"):
-            return False
-        raise ValueError(f"parameter {key!r}: expected a boolean, got {value!r}")
-    for typ in (int, float):
-        if isinstance(default, typ):
-            try:
-                return typ(value)
-            except ValueError:
-                raise ValueError(
-                    f"parameter {key!r}: expected {typ.__name__}, got {value!r}"
-                ) from None
-    if default is None or isinstance(default, str):
-        return value
-    raise ValueError(
-        f"parameter {key!r} of type {type(default).__name__} cannot be set "
-        "from the command line"
-    )
 
 
 #: The process-wide default registry; built-in scenarios self-register here

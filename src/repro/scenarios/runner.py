@@ -14,9 +14,13 @@ from typing import Dict, Optional, Sequence
 
 from repro.cluster.builder import build
 from repro.cluster.experiment import ExperimentResult, execute
-from repro.scenarios.spec import Mechanism, ScenarioSpec
+from repro.scenarios.spec import ScenarioSpec
 
-__all__ = ["RunResult", "run_scenario", "run_mechanisms"]
+__all__ = ["PAPER_MECHANISMS", "RunResult", "run_scenario", "run_mechanisms"]
+
+#: The paper's §IV-C comparison set, in presentation order.  Any name
+#: registered in :data:`repro.core.mechanism.MECHANISMS` is runnable.
+PAPER_MECHANISMS = ("none", "static", "adaptbf")
 
 
 @dataclass
@@ -42,18 +46,20 @@ def run_scenario(spec: ScenarioSpec, algorithm_factory=None) -> RunResult:
 
 def run_mechanisms(
     spec: ScenarioSpec,
-    mechanisms: Sequence[Mechanism] = tuple(Mechanism),
+    mechanisms: Sequence[str] = PAPER_MECHANISMS,
     algorithm_factory=None,
 ) -> Dict[str, RunResult]:
     """Run ``spec`` once per mechanism with otherwise equal hardware.
 
-    Returns results keyed by ``Mechanism.value`` — the §IV-C comparison
-    every figure of the paper is built from.
+    ``mechanisms`` are registry names (default: the paper's §IV-C trio);
+    results are keyed by the normalized name — the comparison every figure
+    of the paper is built from, now open to any registered contender.
     """
-    return {
-        mechanism.value: run_scenario(
+    results: Dict[str, RunResult] = {}
+    for mechanism in mechanisms:
+        result = run_scenario(
             spec.with_policy(mechanism=mechanism),
             algorithm_factory=algorithm_factory,
         )
-        for mechanism in mechanisms
-    }
+        results[result.spec.policy.mechanism] = result
+    return results

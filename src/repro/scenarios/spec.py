@@ -8,8 +8,10 @@ that materializes and runs it:
   rates (uniform or heterogeneous), striping, RPC geometry;
 * the job mix — a tuple of :class:`~repro.workloads.spec.JobSpec` (arrival
   patterns, node counts and hence priorities, process counts);
-* :class:`PolicySpec` — the bandwidth-control mechanism under test (AdapTBF
-  vs. the paper's baselines) and its knobs (interval, overhead, variant);
+* :class:`PolicySpec` — the bandwidth-control mechanism under test,
+  resolved by name from the :data:`~repro.core.mechanism.MECHANISMS`
+  registry (AdapTBF, the paper's baselines, or any registered contender)
+  plus its knobs (interval, overhead, variant, mechanism parameters);
 * :class:`RunSpec` — how to execute and what to measure (duration cap,
   seed, metrics to collect).
 
@@ -27,16 +29,16 @@ the paper's figures and anything new — is reachable from
 from __future__ import annotations
 
 import dataclasses
-import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.ablation import VARIANTS
+from repro.core.mechanism import MECHANISMS, BandwidthMechanism
+from repro.registry import normalize_name
 from repro.workloads.spec import JobSpec, validate_jobs
 
 __all__ = [
     "MIB",
-    "Mechanism",
     "TopologySpec",
     "PolicySpec",
     "RunSpec",
@@ -49,26 +51,6 @@ MIB = 1 << 20
 
 #: Metric groups a run can collect; see :class:`RunSpec`.
 METRIC_NAMES = ("summary", "timeline", "history", "utilization")
-
-
-class Mechanism(enum.Enum):
-    """Bandwidth-control mechanism under test (paper §IV-C)."""
-
-    NONE = "none"
-    STATIC = "static"
-    ADAPTBF = "adaptbf"
-
-    @classmethod
-    def coerce(cls, value: "Union[Mechanism, str]") -> "Mechanism":
-        if isinstance(value, cls):
-            return value
-        try:
-            return cls(str(value).lower())
-        except ValueError:
-            options = sorted(m.value for m in cls)
-            raise ValueError(
-                f"unknown mechanism {value!r}; options: {options}"
-            ) from None
 
 
 @dataclass(frozen=True)
@@ -155,9 +137,20 @@ class PolicySpec:
     Parameters
     ----------
     mechanism:
-        ``"none"`` (FIFO, no control), ``"static"`` (fixed TBF shares) or
-        ``"adaptbf"`` (the paper's framework).  Strings are coerced to
-        :class:`Mechanism`.
+        Name of a mechanism registered in
+        :data:`repro.core.mechanism.MECHANISMS` — ``"none"`` (FIFO, no
+        control), ``"static"`` (fixed TBF shares), ``"adaptbf"`` (the
+        paper's framework), ``"adaptbf-ewma"``, ``"pid"``, or anything
+        registered at runtime.  Validated (and normalized) at
+        construction; resolved to a live
+        :class:`~repro.core.mechanism.BandwidthMechanism` by
+        :meth:`resolve_mechanism`.
+    mechanism_params:
+        Mechanism-specific factory overrides (e.g. ``{"alpha": 0.2}`` for
+        ``adaptbf-ewma`` or ``{"kp": 0.8}`` for ``pid``).  Keys are
+        validated against the registered factory's parameter schema;
+        stored canonically as a sorted tuple of pairs so specs stay
+        frozen, hashable and picklable.
     interval_s:
         AdapTBF observation period Δt (paper default 100 ms; ignored by
         the baselines).
@@ -176,7 +169,8 @@ class PolicySpec:
         memory for long runs).
     """
 
-    mechanism: Mechanism = Mechanism.ADAPTBF
+    mechanism: str = "adaptbf"
+    mechanism_params: Mapping[str, Any] = ()
     interval_s: float = 0.1
     overhead_s: float = 0.0
     bucket_depth: float = 3.0
@@ -184,7 +178,30 @@ class PolicySpec:
     keep_history: Union[bool, int] = True
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "mechanism", Mechanism.coerce(self.mechanism))
+        name = normalize_name(
+            getattr(self.mechanism, "value", self.mechanism)
+        )
+        try:
+            entry = MECHANISMS.get(name)
+        except KeyError:
+            raise ValueError(
+                f"unknown mechanism {self.mechanism!r}; registered: "
+                f"{MECHANISMS.names()}"
+            ) from None
+        object.__setattr__(self, "mechanism", entry.name)
+        params = self.mechanism_params
+        if isinstance(params, Mapping):
+            items = params.items()
+        else:
+            items = tuple(params)
+        canonical = tuple(sorted((str(k), v) for k, v in items))
+        unknown = {k for k, _ in canonical} - set(entry.params)
+        if unknown:
+            raise ValueError(
+                f"mechanism {entry.name!r} has no parameter(s) "
+                f"{sorted(unknown)}; accepted: {sorted(entry.params)}"
+            )
+        object.__setattr__(self, "mechanism_params", canonical)
         if self.interval_s <= 0:
             raise ValueError("interval_s must be positive")
         if self.overhead_s < 0:
@@ -205,6 +222,16 @@ class PolicySpec:
         if self.keep_history is not True and self.keep_history is not False:
             if self.keep_history <= 0:
                 raise ValueError("keep_history cap must be positive")
+
+    # -- mechanism resolution ----------------------------------------------
+    @property
+    def mechanism_kwargs(self) -> Dict[str, Any]:
+        """The frozen parameter pairs as a plain factory-kwargs dict."""
+        return dict(self.mechanism_params)
+
+    def resolve_mechanism(self) -> "BandwidthMechanism":
+        """Resolve the named mechanism with this policy's overrides."""
+        return MECHANISMS.build(self.mechanism, **self.mechanism_kwargs)
 
 
 @dataclass(frozen=True)
@@ -287,7 +314,22 @@ class ScenarioSpec:
 
     # -- functional updates ------------------------------------------------
     def with_policy(self, **changes) -> "ScenarioSpec":
-        """Copy with policy fields replaced (e.g. ``mechanism="static"``)."""
+        """Copy with policy fields replaced (e.g. ``mechanism="static"``).
+
+        Switching ``mechanism`` without explicitly passing
+        ``mechanism_params`` resets the params: they belong to the outgoing
+        mechanism's factory schema, and would otherwise fail validation (or
+        silently mean something else) under the incoming one.
+        """
+        if (
+            "mechanism" in changes
+            and "mechanism_params" not in changes
+            and normalize_name(
+                getattr(changes["mechanism"], "value", changes["mechanism"])
+            )
+            != self.policy.mechanism
+        ):
+            changes["mechanism_params"] = ()
         return dataclasses.replace(
             self, policy=dataclasses.replace(self.policy, **changes)
         )
@@ -317,11 +359,20 @@ class ScenarioSpec:
         ]
         if self.description:
             lines.append(f"  {self.description}")
+        mech_params = ""
+        if self.policy.mechanism_params:
+            mech_params = (
+                "["
+                + ", ".join(
+                    f"{k}={v!r}" for k, v in self.policy.mechanism_params
+                )
+                + "] "
+            )
         lines += [
             f"topology: {topo.n_osts} OST(s) @ {caps}, "
             f"stripe_count={topo.stripe_count}, "
             f"rpc_size={topo.rpc_size // MIB} MiB",
-            f"policy:   {self.policy.mechanism.value} "
+            f"policy:   {self.policy.mechanism} {mech_params}"
             f"(interval={self.policy.interval_s:g}s, "
             f"overhead={self.policy.overhead_s:g}s, "
             f"variant={self.policy.variant})",

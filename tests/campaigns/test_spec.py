@@ -179,11 +179,61 @@ class TestIdentity:
         assert "[0]" in text and "cells=6" in text
 
 
+class TestMechanismAxis:
+    """`mechanism` sweeps apply to the resolved spec's policy."""
+
+    def test_mechanism_axis_resolves_via_policy(self):
+        campaign = CampaignSpec(
+            name="t",
+            scenario="quickstart",
+            axes=(ParameterAxis("mechanism", ("none", "pid")),),
+        )
+        specs = [campaign.resolve(cell) for cell in campaign.cells()]
+        assert [s.policy.mechanism for s in specs] == ["none", "pid"]
+
+    def test_mechanism_recorded_in_build_params(self):
+        campaign = CampaignSpec(
+            name="t",
+            scenario="quickstart",
+            axes=(ParameterAxis("mechanism", ("static",)),),
+        )
+        (cell,) = campaign.cells()
+        assert campaign.build_params(cell)["mechanism"] == "static"
+
+    def test_unknown_mechanism_fails_at_resolve(self):
+        campaign = CampaignSpec(
+            name="t",
+            scenario="quickstart",
+            axes=(ParameterAxis("mechanism", ("bogus",)),),
+        )
+        with pytest.raises(ValueError, match="unknown mechanism"):
+            campaign.resolve(campaign.cells()[0])
+
+
 class TestBuiltinCampaigns:
     def test_expected_campaigns_present(self):
-        assert {"freq-sweep", "burst-grid", "scale-osts"} <= set(
-            CAMPAIGNS.names()
+        assert {
+            "freq-sweep",
+            "burst-grid",
+            "scale-osts",
+            "mechanism-shootout",
+        } <= set(CAMPAIGNS.names())
+
+    def test_mechanism_shootout_covers_registry(self):
+        from repro.core.mechanism import MECHANISMS
+
+        campaign = CAMPAIGNS.build("mechanism-shootout")
+        (axis,) = campaign.axes
+        assert axis.values == tuple(MECHANISMS.names())
+
+    def test_mechanism_shootout_subset_and_validation(self):
+        campaign = CAMPAIGNS.build(
+            "mechanism-shootout", mechanisms="none,adaptbf"
         )
+        (axis,) = campaign.axes
+        assert axis.values == ("none", "adaptbf")
+        with pytest.raises(KeyError, match="unknown mechanism"):
+            CAMPAIGNS.build("mechanism-shootout", mechanisms="bogus")
 
     def test_builtin_campaigns_validate_and_resolve(self):
         for name in CAMPAIGNS.names():

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster.builder import ClusterConfig, Mechanism, build_cluster
+from repro.cluster.builder import ClusterConfig, build_cluster
 from repro.cluster.experiment import run_experiment, run_scenario
 from repro.lustre.nrs import FifoPolicy, TbfPolicy
 from repro.sim import Environment
@@ -46,7 +46,7 @@ class TestBuildCluster:
     def test_none_uses_fifo(self):
         env = Environment()
         cluster = build_cluster(
-            env, ClusterConfig(mechanism=Mechanism.NONE), tiny_jobs()
+            env, ClusterConfig(mechanism="none"), tiny_jobs()
         )
         assert isinstance(cluster.oss.policy, FifoPolicy)
         assert cluster.adaptbf is None
@@ -55,7 +55,7 @@ class TestBuildCluster:
     def test_static_installs_rules(self):
         env = Environment()
         cluster = build_cluster(
-            env, ClusterConfig(mechanism=Mechanism.STATIC), tiny_jobs()
+            env, ClusterConfig(mechanism="static"), tiny_jobs()
         )
         assert isinstance(cluster.oss.policy, TbfPolicy)
         assert cluster.static_rates is not None
@@ -67,7 +67,7 @@ class TestBuildCluster:
     def test_adaptbf_attaches_framework(self):
         env = Environment()
         cluster = build_cluster(
-            env, ClusterConfig(mechanism=Mechanism.ADAPTBF), tiny_jobs()
+            env, ClusterConfig(mechanism="adaptbf"), tiny_jobs()
         )
         assert cluster.adaptbf is not None
         assert cluster.adaptbf.controller.nodes == {"j0": 1, "j1": 3}
@@ -76,7 +76,7 @@ class TestBuildCluster:
         env = Environment()
         cluster = build_cluster(
             env,
-            ClusterConfig(mechanism=Mechanism.ADAPTBF, variant="priority_only"),
+            ClusterConfig(mechanism="adaptbf", variant="priority_only"),
             tiny_jobs(),
         )
         assert not cluster.adaptbf.algorithm.enable_redistribution
@@ -99,7 +99,7 @@ class TestBuildCluster:
 class TestRunExperiment:
     def test_run_to_completion(self):
         result = run_experiment(
-            ClusterConfig(mechanism=Mechanism.NONE, capacity_mib_s=100),
+            ClusterConfig(mechanism="none", capacity_mib_s=100),
             tiny_jobs(volume=50 * MIB),
         )
         assert result.clients_finished
@@ -109,7 +109,7 @@ class TestRunExperiment:
 
     def test_duration_cap_truncates(self):
         result = run_experiment(
-            ClusterConfig(mechanism=Mechanism.NONE, capacity_mib_s=10),
+            ClusterConfig(mechanism="none", capacity_mib_s=10),
             tiny_jobs(volume=100 * MIB),
             duration_s=2.0,
         )
@@ -121,7 +121,7 @@ class TestRunExperiment:
 
     def test_adaptbf_history_captured(self):
         result = run_experiment(
-            ClusterConfig(mechanism=Mechanism.ADAPTBF, capacity_mib_s=100),
+            ClusterConfig(mechanism="adaptbf", capacity_mib_s=100),
             tiny_jobs(volume=30 * MIB),
         )
         assert len(result.history) > 0
@@ -130,14 +130,14 @@ class TestRunExperiment:
 
     def test_baseline_history_empty(self):
         result = run_experiment(
-            ClusterConfig(mechanism=Mechanism.NONE, capacity_mib_s=100),
+            ClusterConfig(mechanism="none", capacity_mib_s=100),
             tiny_jobs(volume=10 * MIB),
         )
         assert result.history == []
 
     def test_utilization_reported(self):
         result = run_experiment(
-            ClusterConfig(mechanism=Mechanism.NONE, capacity_mib_s=100),
+            ClusterConfig(mechanism="none", capacity_mib_s=100),
             tiny_jobs(volume=50 * MIB),
         )
         # Saturating FIFO workload: utilization near 1.
@@ -148,7 +148,7 @@ class TestRunExperiment:
             ScenarioConfig(data_scale=1 / 512, heavy_procs=2)
         )
         result = run_scenario(
-            scenario, ClusterConfig(mechanism=Mechanism.ADAPTBF, capacity_mib_s=256)
+            scenario, ClusterConfig(mechanism="adaptbf", capacity_mib_s=256)
         )
         assert result.clients_finished
         assert set(result.job_completion_s) == {

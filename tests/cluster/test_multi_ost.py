@@ -8,7 +8,7 @@ one independent controller per OST and verify exactly that.
 
 import pytest
 
-from repro.cluster.builder import ClusterConfig, Mechanism, build_cluster
+from repro.cluster.builder import ClusterConfig, build_cluster
 from repro.cluster.experiment import run_experiment
 from repro.sim import Environment
 from repro.workloads.patterns import SequentialWritePattern
@@ -35,7 +35,7 @@ class TestMultiOstBuild:
         env = Environment()
         cluster = build_cluster(
             env,
-            ClusterConfig(mechanism=Mechanism.ADAPTBF, n_osts=4),
+            ClusterConfig(mechanism="adaptbf", n_osts=4),
             jobs_16proc(),
         )
         assert len(cluster.osts) == 4
@@ -48,7 +48,7 @@ class TestMultiOstBuild:
     def test_round_robin_file_placement(self):
         env = Environment()
         cluster = build_cluster(
-            env, ClusterConfig(mechanism=Mechanism.NONE, n_osts=4), jobs_16proc()
+            env, ClusterConfig(mechanism="none", n_osts=4), jobs_16proc()
         )
         # 16 files over 4 OSTs round-robin: each OST serves 4 files.
         placements = [c.io.layout.targets[0] for c in cluster.clients]
@@ -65,7 +65,7 @@ class TestMultiOstBuild:
         env = Environment()
         cluster = build_cluster(
             env,
-            ClusterConfig(mechanism=Mechanism.STATIC, n_osts=3),
+            ClusterConfig(mechanism="static", n_osts=3),
             jobs_16proc(),
         )
         assert len(cluster.static_rates) == 3
@@ -83,7 +83,7 @@ class TestDecentralizedFairness:
         """
         result = run_experiment(
             ClusterConfig(
-                mechanism=Mechanism.ADAPTBF, n_osts=4, capacity_mib_s=256
+                mechanism="adaptbf", n_osts=4, capacity_mib_s=256
             ),
             jobs_16proc(volume=400 * MIB, nodes=(1, 3)),
             duration_s=2.0,
@@ -96,7 +96,7 @@ class TestDecentralizedFairness:
     def test_each_ost_runs_its_own_rounds(self):
         result = run_experiment(
             ClusterConfig(
-                mechanism=Mechanism.ADAPTBF, n_osts=3, capacity_mib_s=256
+                mechanism="adaptbf", n_osts=3, capacity_mib_s=256
             ),
             jobs_16proc(volume=32 * MIB),
             duration_s=1.0,
@@ -108,7 +108,7 @@ class TestDecentralizedFairness:
     def test_striped_files_reach_all_osts(self):
         result = run_experiment(
             ClusterConfig(
-                mechanism=Mechanism.ADAPTBF,
+                mechanism="adaptbf",
                 n_osts=2,
                 stripe_count=2,
                 capacity_mib_s=256,
@@ -126,12 +126,12 @@ class TestDecentralizedFairness:
     def test_multi_ost_aggregate_scales(self):
         """Two OSTs deliver ~2x one OST's bandwidth for the same workload."""
         one = run_experiment(
-            ClusterConfig(mechanism=Mechanism.NONE, n_osts=1, capacity_mib_s=128),
+            ClusterConfig(mechanism="none", n_osts=1, capacity_mib_s=128),
             jobs_16proc(volume=64 * MIB),
             duration_s=2.0,
         )
         two = run_experiment(
-            ClusterConfig(mechanism=Mechanism.NONE, n_osts=2, capacity_mib_s=128),
+            ClusterConfig(mechanism="none", n_osts=2, capacity_mib_s=128),
             jobs_16proc(volume=64 * MIB),
             duration_s=2.0,
         )

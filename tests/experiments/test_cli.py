@@ -171,3 +171,78 @@ class TestCampaign:
     def test_scenario_list_mentions_campaigns(self, capsys):
         assert main(["list"]) == 0
         assert "campaign list" in capsys.readouterr().out
+
+
+class TestMechanismCli:
+    def test_mechanism_list(self, capsys):
+        assert main(["mechanism", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("none", "static", "adaptbf", "adaptbf-ewma", "pid"):
+            assert name in out
+        assert "--mechanism" in out
+
+    def test_mechanism_describe(self, capsys):
+        assert main(["mechanism", "describe", "pid"]) == 0
+        out = capsys.readouterr().out
+        assert "kp" in out and "ki" in out
+        assert "mechanism: pid" in out
+
+    def test_mechanism_describe_unknown_exits(self):
+        with pytest.raises(SystemExit):
+            main(["mechanism", "describe", "nope"])
+
+    def test_run_with_new_mechanism_and_params(self, capsys):
+        code = main(
+            [
+                "run",
+                "quickstart",
+                "--mechanism",
+                "pid",
+                "--mechanism-param",
+                "kp=0.9",
+                "--param",
+                "file_mib=16",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "achieved bandwidth (pid)" in out
+        assert "kp=0.9" in out  # spec header records the override
+
+    def test_run_unknown_mechanism_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "quickstart", "--mechanism", "bogus"])
+
+    def test_run_unknown_mechanism_param_exits(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "run",
+                    "quickstart",
+                    "--mechanism",
+                    "pid",
+                    "--mechanism-param",
+                    "bogus=1",
+                ]
+            )
+
+    def test_scenario_list_mentions_mechanisms(self, capsys):
+        assert main(["list"]) == 0
+        assert "mechanism list" in capsys.readouterr().out
+
+    def test_shootout_reports_comparison_table(self, capsys):
+        code = main(
+            [
+                "campaign",
+                "run",
+                "mechanism-shootout",
+                "--param",
+                "mechanisms=none,static",
+                "--param",
+                "scenario=quickstart",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mechanism shootout" in out
+        assert "fairness" in out

@@ -64,12 +64,10 @@ class TestMechanismComparison:
             assert job in report
 
     def test_isolated_mechanism_subset(self):
-        from repro.cluster.builder import Mechanism
-
         scenario = scenario_allocation(
             ScenarioConfig(data_scale=1 / 256, heavy_procs=2)
         )
         cmp = compare_mechanisms(
-            scenario, capacity_mib_s=256, mechanisms=(Mechanism.ADAPTBF,)
+            scenario, capacity_mib_s=256, mechanisms=("adaptbf",)
         )
         assert set(cmp.results) == {"adaptbf"}

@@ -4,7 +4,7 @@ import csv
 
 import pytest
 
-from repro.cluster.builder import ClusterConfig, Mechanism
+from repro.cluster.builder import ClusterConfig
 from repro.cluster.experiment import run_experiment
 from repro.metrics.export import (
     export_all,
@@ -19,7 +19,7 @@ from repro.workloads.spec import JobSpec, ProcessSpec
 MIB = 1 << 20
 
 
-def small_result(mechanism=Mechanism.ADAPTBF):
+def small_result(mechanism="adaptbf"):
     jobs = [
         JobSpec(
             job_id=f"j{i}",
@@ -60,8 +60,8 @@ class TestExportTimeline:
 class TestExportSummaryAndRecords:
     def test_summary_rows_per_mechanism(self, tmp_path):
         results = {
-            "none": small_result(Mechanism.NONE),
-            "adaptbf": small_result(Mechanism.ADAPTBF),
+            "none": small_result("none"),
+            "adaptbf": small_result("adaptbf"),
         }
         path = export_summary(
             {m: r.summary for m, r in results.items()}, tmp_path / "s.csv"
@@ -80,8 +80,8 @@ class TestExportSummaryAndRecords:
 
     def test_export_all_bundle(self, tmp_path):
         results = {
-            "none": small_result(Mechanism.NONE),
-            "adaptbf": small_result(Mechanism.ADAPTBF),
+            "none": small_result("none"),
+            "adaptbf": small_result("adaptbf"),
         }
         written = export_all(results, tmp_path, prefix="e1")
         assert (tmp_path / "e1_summary.csv").exists()

@@ -32,13 +32,13 @@ def test_init_docstring_example_runs():
 
 def test_legacy_surface_still_works():
     """The pre-pipeline config+jobs API remains supported."""
-    from repro.cluster import ClusterConfig, Mechanism, run_scenario
+    from repro.cluster import ClusterConfig, run_scenario
     from repro.workloads import ScenarioConfig, scenario_allocation
 
     scenario = scenario_allocation(
         ScenarioConfig(data_scale=1 / 256, heavy_procs=2)
     )
-    result = run_scenario(scenario, ClusterConfig(mechanism=Mechanism.ADAPTBF))
+    result = run_scenario(scenario, ClusterConfig(mechanism="adaptbf"))
     assert result.summary.aggregate_mib_s > 0
 
 
