@@ -41,10 +41,14 @@ def rerun_command(result: CampaignResult, outcome: CellOutcome) -> str:
     )
     parts = [f"python -m repro.experiments run {campaign.scenario}"]
     build_params = campaign.build_params(cell)
-    # Policy-level parameters have dedicated CLI flags, not --param.
+    # Policy- and workload-level parameters have dedicated CLI flags,
+    # not --param.
     mechanism = build_params.pop("mechanism", None)
     if mechanism is not None:
         parts.append(f"--mechanism {mechanism}")
+    workload = build_params.pop("workload", None)
+    if workload is not None:
+        parts.append(f"--workload {workload}")
     for key in sorted(build_params):
         parts.append(f"--param {key}={build_params[key]}")
     return " ".join(parts)

@@ -10,7 +10,11 @@ The paper's evaluation sweeps, declared once through the campaign engine:
   multi-OST scenario;
 * ``mechanism-shootout`` — every registered bandwidth mechanism head-to-head
   on one contended workload: the §IV-C comparison generalized to the whole
-  mechanism registry (throughput / fairness / latency per mechanism).
+  mechanism registry (throughput / fairness / latency per mechanism);
+* ``workload-shootout`` — one mechanism across every registered *workload*
+  pattern: the reserved ``workload`` axis swaps each cell's demand shape
+  (sequential, bursty, Poisson, on/off, diurnal, trace replay, ...) over a
+  fixed contention structure.
 
 Axis values arrive as comma-separated factory parameters so any grid is
 reshapeable from the CLI (``--param intervals=0.1,0.25``); defaults target
@@ -26,6 +30,7 @@ from repro.campaigns.spec import CampaignSpec, ParameterAxis
 from repro.core.mechanism import MECHANISMS
 from repro.experiments.fig9 import PAPER_INTERVALS_S
 from repro.registry import normalize_name
+from repro.workloads.registry import WORKLOADS
 from repro.workloads.scenarios import BENCH_SCALE
 
 __all__ = ["CAMPAIGNS"]
@@ -221,5 +226,83 @@ def _mechanism_shootout(
         description=(
             "head-to-head mechanism comparison: throughput, fairness and "
             "tail latency per registered mechanism"
+        ),
+    )
+
+
+@CAMPAIGNS.register(
+    "workload-shootout",
+    description="one mechanism across every registered workload pattern",
+)
+def _workload_shootout(
+    workloads: str = "",
+    scenario: str = "quickstart",
+    mechanism: str = "adaptbf",
+    duration_s: float = 6.0,
+    seed: int = 0,
+) -> CampaignSpec:
+    """One cell per workload pattern over a fixed contention structure.
+
+    The reserved ``workload`` axis rebuilds every process of the base
+    scenario from the named :data:`~repro.workloads.registry.WORKLOADS`
+    entry (factory defaults, with each cell's derived seed flowing into
+    seeded patterns), so the sweep answers "how does the mechanism behave
+    as demand turns sequential / bursty / memoryless / phased?" — the
+    irregular-demand evaluation the paper's fixed Filebench shapes could
+    not express.
+
+    Parameters
+    ----------
+    workloads:
+        Comma-separated workload registry names; empty sweeps *every*
+        registered workload, so new patterns join the shootout the moment
+        they register.
+    scenario:
+        Base registered scenario providing the job/priority structure.
+    mechanism:
+        Bandwidth mechanism every cell runs under.
+    duration_s:
+        Simulated-duration cap applied to every cell (open-ended
+        workloads would otherwise run to completion at whatever volume
+        their defaults imply).  The base scenario must expose a
+        ``duration``/``duration_s`` knob to receive it; scenarios
+        without one are rejected unless the cap is disabled with 0.
+    seed:
+        Campaign seed; each cell derives its own workload seed from it.
+    """
+    if workloads.strip():
+        names = tuple(
+            normalize_name(w) for w in workloads.split(",") if w.strip()
+        )
+        for name in names:
+            WORKLOADS.get(name)  # fail fast on unknown patterns
+    else:
+        names = tuple(WORKLOADS.names())
+    if not names:
+        raise ValueError("parameter 'workloads' must list at least one name")
+    from repro.scenarios import REGISTRY
+
+    accepted = REGISTRY.get(scenario).params
+    base = {"mechanism": mechanism}
+    if duration_s:
+        if "duration" in accepted:
+            base["duration"] = duration_s
+        elif "duration_s" in accepted:
+            base["duration_s"] = duration_s
+        else:
+            raise ValueError(
+                f"scenario {scenario!r} takes no duration cap, so "
+                f"duration_s={duration_s:g} cannot be applied; pass "
+                "duration_s=0 to run cells to workload completion"
+            )
+    return CampaignSpec(
+        name="workload-shootout",
+        scenario=scenario,
+        axes=(ParameterAxis("workload", names),),
+        base_params=base,
+        seed=seed,
+        description=(
+            "demand-shape sweep: every registered workload pattern on "
+            f"scenario {scenario!r} under {mechanism!r}"
         ),
     )

@@ -15,10 +15,16 @@ Each :class:`CampaignCell` resolves to a concrete
 :class:`~repro.scenarios.spec.ScenarioSpec` through the scenario registry's
 parameter-override machinery — exactly what ``run <scenario> --param k=v``
 does — so any cell is re-runnable standalone from its recorded parameters.
-The reserved parameter :data:`POLICY_PARAMS` (``mechanism``) applies to the
-resolved spec's *policy* instead of the scenario factory, so any campaign
-can sweep the bandwidth mechanism as an axis (the ``mechanism-shootout``
-built-in) without every scenario factory growing a mechanism knob.
+Two parameters are *reserved*: they apply to the resolved spec rather than
+the scenario factory (unless the factory itself takes the name), so any
+campaign can sweep them as axes without every scenario factory growing the
+knob.  :data:`POLICY_PARAMS` (``mechanism``) swaps the bandwidth mechanism
+via :meth:`~repro.scenarios.spec.ScenarioSpec.with_policy` (the
+``mechanism-shootout`` built-in), and :data:`WORKLOAD_PARAMS`
+(``workload``) rebuilds every process's pattern from the named
+:data:`~repro.workloads.registry.WORKLOADS` entry via
+:meth:`~repro.scenarios.spec.ScenarioSpec.with_workload` (the
+``workload-shootout`` built-in).
 Cells carry a deterministic RNG seed derived from the campaign seed and the
 cell index (:func:`derive_cell_seed`); scenarios that take a ``seed``
 parameter (e.g. ``burst-storm``) receive it automatically unless the
@@ -38,6 +44,8 @@ from repro.scenarios.spec import ScenarioSpec
 
 __all__ = [
     "AXIS_MODES",
+    "POLICY_PARAMS",
+    "WORKLOAD_PARAMS",
     "ParameterAxis",
     "CampaignCell",
     "CampaignSpec",
@@ -50,6 +58,10 @@ AXIS_MODES = ("grid", "zip", "random")
 #: Cell parameters applied to the resolved spec's policy rather than passed
 #: to the scenario factory (unless the factory itself takes the name).
 POLICY_PARAMS = ("mechanism",)
+
+#: Cell parameters applied to the resolved spec's workload axis
+#: (``ScenarioSpec.with_workload``) rather than the scenario factory.
+WORKLOAD_PARAMS = ("workload",)
 
 #: ``describe()`` previews at most this many cells.
 _DESCRIBE_CELLS = 8
@@ -221,7 +233,9 @@ class CampaignSpec:
 
         Parameters the scenario factory accepts go to the factory; the
         reserved :data:`POLICY_PARAMS` are applied to the built spec's
-        policy (``mechanism`` swaps the bandwidth mechanism under test).
+        policy (``mechanism`` swaps the bandwidth mechanism under test)
+        and the reserved :data:`WORKLOAD_PARAMS` to its workload axis
+        (``workload`` rebuilds every process's pattern from the registry).
         Anything else is rejected with the factory's own error.
         """
         from repro.scenarios import REGISTRY
@@ -233,6 +247,11 @@ class CampaignSpec:
             for key in POLICY_PARAMS
             if key in params and key not in entry.params
         }
+        workload_overrides = {
+            key: params.pop(key)
+            for key in WORKLOAD_PARAMS
+            if key in params and key not in entry.params
+        }
         spec = entry.build(**params)
         if policy_overrides:
             spec = spec.with_policy(**policy_overrides)
@@ -240,6 +259,10 @@ class CampaignSpec:
             # Stamp the derived seed into the run spec for provenance even
             # when the scenario factory itself takes no seed.
             spec = spec.with_run(seed=cell.seed)
+        if workload_overrides.get("workload"):
+            # After seed stamping, so seeded workload factories inherit the
+            # cell's derived seed through with_workload.
+            spec = spec.with_workload(workload_overrides["workload"])
         return spec
 
     # -- identity ----------------------------------------------------------

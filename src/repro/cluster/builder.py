@@ -8,7 +8,13 @@ resolved through :data:`repro.core.mechanism.MECHANISMS` — the builder has
 no per-mechanism code; it asks the resolved
 :class:`~repro.core.mechanism.BandwidthMechanism` for each OSS's NRS policy
 and then installs the mechanism once per (OSS, OST) pair, so registering a
-new mechanism makes it buildable everywhere with no builder edits.
+new mechanism makes it buildable everywhere with no builder edits.  The
+workload axis is equally opaque here: each process's
+:class:`~repro.workloads.patterns.Pattern` arrives fully resolved in the
+spec (scenario-native or rebuilt via
+:meth:`~repro.scenarios.spec.ScenarioSpec.with_workload`), and the builder
+just hands its ``program`` to a :class:`ClientProcess` — read, write,
+stochastic or trace-driven alike.
 
 Simulator defaults stand in for the paper's hardware: the c6525-25g OSS has
 two 480 GB SATA SSDs (~500 MiB/s each) and a 25 GbE NIC, so the OST-bandwidth

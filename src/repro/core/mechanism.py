@@ -256,6 +256,7 @@ class MechanismRegistry(FactoryRegistry):
     """Name → mechanism-factory mapping behind ``--mechanism`` everywhere."""
 
     kind = "mechanism"
+    override_flag = "--mechanism-param"
 
     def build(self, name: str, **overrides) -> BandwidthMechanism:
         """Resolve a mechanism instance, stamping its name and parameters."""
@@ -518,8 +519,14 @@ def _static() -> StaticBandwidthControl:
     description="the paper's adaptive token borrowing (variants via policy)",
 )
 def _adaptbf(variant: str = "") -> AdapTbfMechanism:
-    """The paper's framework; ``variant`` overrides the policy's ablation
-    knob ("full", "priority_only", "no_recompensation", "priority_blind_df").
+    """The paper's adaptive token-borrowing framework.
+
+    Parameters
+    ----------
+    variant:
+        Algorithm ablation variant ("full", "priority_only",
+        "no_recompensation", "priority_blind_df"); empty defers to the
+        policy spec's ``variant`` knob.
     """
     return AdapTbfMechanism(variant=variant)
 
@@ -529,4 +536,14 @@ def _adaptbf(variant: str = "") -> AdapTbfMechanism:
     description="AdapTBF with EWMA demand prediction (paper §IV-E extension)",
 )
 def _adaptbf_ewma(alpha: float = 0.4, variant: str = "") -> EwmaAdapTbfMechanism:
+    """AdapTBF with EWMA demand prediction in the re-compensation step.
+
+    Parameters
+    ----------
+    alpha:
+        EWMA smoothing factor in (0, 1]; higher weighs the latest
+        demand observation more (1.0 degenerates to last-value).
+    variant:
+        Algorithm ablation variant; empty defers to the policy spec.
+    """
     return EwmaAdapTbfMechanism(alpha=alpha, variant=variant)

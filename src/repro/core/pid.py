@@ -280,6 +280,25 @@ def _pid(
     windup: float = 10.0,
     floor_share: float = 0.02,
 ) -> PidRateMechanism:
+    """Per-job PID loops steering TBF rates toward entitlement shares.
+
+    Parameters
+    ----------
+    kp:
+        Proportional gain on the share-tracking error.
+    ki:
+        Integral gain (error accumulated across rounds).
+    kd:
+        Derivative gain on the error's round-to-round change.
+    leak:
+        Per-round decay of the integral term (leaky anti-windup; 1.0
+        disables the leak).
+    windup:
+        Hard clamp on the integral term's magnitude.
+    floor_share:
+        Minimum share of the OST rate any active job's rule may fall to,
+        preventing controller-induced starvation.
+    """
     return PidRateMechanism(
         kp=kp,
         ki=ki,

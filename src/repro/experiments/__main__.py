@@ -17,6 +17,12 @@ Usage::
     python -m repro.experiments run quickstart --mechanism pid \\
         --mechanism-param kp=0.8                        # any registered mech
     python -m repro.experiments campaign run mechanism-shootout --jobs 2
+    python -m repro.experiments workload list           # registered patterns
+    python -m repro.experiments workload describe poisson
+    python -m repro.experiments run quickstart --workload poisson \\
+        --workload-param rate_per_s=20                  # any registered load
+    python -m repro.experiments run trace-replay        # bundled trace replay
+    python -m repro.experiments campaign run workload-shootout --jobs 2
 
 Figure names (``fig3`` … ``fig9``, ``overhead``, ``all``) invoke the paper's
 reproduction adapters — the three-mechanism comparison, report and shape
@@ -46,6 +52,7 @@ from repro.metrics.report import (
     format_run_report,
 )
 from repro.scenarios import REGISTRY, run_scenario
+from repro.workloads.registry import WORKLOADS
 from repro.workloads.scenarios import ScenarioConfig
 
 #: Figure name → (adapter module, registered scenario the workload comes from).
@@ -127,10 +134,13 @@ def _run_figures(name: str, args, params: Dict[str, str]) -> bool:
         args.duration is not None
         or args.mechanism is not None
         or args.mechanism_param
+        or args.workload is not None
+        or args.workload_param
     ):
         raise SystemExit(
-            "--duration/--mechanism/--mechanism-param apply to registered "
-            "scenarios; figure adapters always run their paper-defined "
+            "--duration/--mechanism/--mechanism-param/--workload/"
+            "--workload-param apply to registered scenarios; figure "
+            "adapters always run their paper-defined workload and "
             "duration under all three mechanisms (scale them with "
             "--param time_scale=...)"
         )
@@ -183,6 +193,16 @@ def _run_registered(name: str, args, params: Dict[str, str]) -> bool:
             )
         if policy_changes:
             spec = spec.with_policy(**policy_changes)
+        wl_params = _split_params(getattr(args, "workload_param", None))
+        if args.workload is not None:
+            spec = spec.with_workload(
+                args.workload, WORKLOADS.coerce(args.workload, wl_params)
+            )
+        elif wl_params:
+            raise SystemExit(
+                "--workload-param requires --workload NAME (see "
+                "`workload list`)"
+            )
     except (KeyError, ValueError) as exc:
         # KeyError's str() wraps the message in repr quotes; unwrap it.
         raise SystemExit(exc.args[0] if exc.args else str(exc)) from None
@@ -304,6 +324,29 @@ def _cmd_mechanism_describe(args) -> int:
     return 0
 
 
+def _cmd_workload_list(_args) -> int:
+    print("registered workload patterns (select with --workload):")
+    for name in WORKLOADS.names():
+        entry = WORKLOADS.get(name)
+        print(f"  {name:18s} {entry.description}")
+    print()
+    print(
+        "run with:   python -m repro.experiments run <scenario> "
+        "--workload <name> [--workload-param k=v ...]\n"
+        "sweep with: python -m repro.experiments campaign run "
+        "workload-shootout [--param workloads=a,b ...]"
+    )
+    return 0
+
+
+def _cmd_workload_describe(args) -> int:
+    try:
+        print(WORKLOADS.describe(args.workload))
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(exc.args[0] if exc.args else str(exc)) from None
+    return 0
+
+
 def _cmd_list(_args) -> int:
     print("figure adapters (paper reproduction, 3-mechanism comparison):")
     seen = {}
@@ -329,6 +372,11 @@ def _cmd_list(_args) -> int:
     print("registered mechanisms (see `mechanism list`):")
     for name in MECHANISMS.names():
         entry = MECHANISMS.get(name)
+        print(f"  {name:18s} {entry.description}")
+    print()
+    print("registered workload patterns (see `workload list`):")
+    for name in WORKLOADS.names():
+        entry = WORKLOADS.get(name)
         print(f"  {name:18s} {entry.description}")
     print()
     print(
@@ -406,6 +454,21 @@ def main(argv=None) -> int:
         "`mechanism describe <name>`)",
     )
     run_p.add_argument(
+        "--workload",
+        default=None,
+        metavar="NAME",
+        help="rebuild every process's pattern from a registered workload "
+        "(see `workload list`); job structure and priorities stay as the "
+        "scenario defines them",
+    )
+    run_p.add_argument(
+        "--workload-param",
+        action="append",
+        metavar="K=V",
+        help="override a workload factory parameter (repeatable; see "
+        "`workload describe <name>`)",
+    )
+    run_p.add_argument(
         "--full",
         action="store_true",
         help="figure adapters: run the paper-size configuration "
@@ -476,6 +539,20 @@ def main(argv=None) -> int:
     )
     mdesc_p.add_argument("mechanism")
     mdesc_p.set_defaults(handler=_cmd_mechanism_describe)
+
+    wl_p = sub.add_parser(
+        "workload", help="pluggable workload patterns (the demand axis)"
+    )
+    wl_sub = wl_p.add_subparsers(dest="workload_command", required=True)
+
+    wlist_p = wl_sub.add_parser("list", help="list registered workloads")
+    wlist_p.set_defaults(handler=_cmd_workload_list)
+
+    wdesc_p = wl_sub.add_parser(
+        "describe", help="show a workload's parameters and behaviour"
+    )
+    wdesc_p.add_argument("workload")
+    wdesc_p.set_defaults(handler=_cmd_workload_describe)
 
     args = parser.parse_args(argv)
     return args.handler(args)

@@ -3,9 +3,13 @@
 A :class:`ClientProcess` executes one *I/O program* — a generator produced by
 a workload pattern (:mod:`repro.workloads.patterns`) — against an OSS through
 the network.  The :class:`IoHandle` given to the program hides RPC mechanics:
-``write(nbytes)`` chops a region into RPC-sized chunks and keeps a bounded
-window of them in flight, which is how a real Lustre client's RPC engine
-pipelines bulk I/O (``max_rpcs_in_flight``).
+``write(nbytes)`` / ``read(nbytes)`` chop a region into RPC-sized chunks and
+keep a bounded window of them in flight, which is how a real Lustre client's
+RPC engine pipelines bulk I/O (``max_rpcs_in_flight``).  Reads and writes
+traverse the same NRS/TBF path and cost one token per RPC (the paper's
+convention); the handle attributes moved bytes to ``bytes_read`` /
+``bytes_written`` per :class:`~repro.lustre.rpc.RpcKind` so mixed-op
+workloads stay observable.
 """
 
 from __future__ import annotations
@@ -76,6 +80,22 @@ class IoHandle:
         self._offset = 0
         self.rpcs_issued = 0
         self.bytes_written = 0
+        self.bytes_read = 0
+        self._stream_seq = 0
+
+    def next_stream_seq(self) -> int:
+        """Monotone counter for RNG-substream derivation.
+
+        Workload patterns fold this into their substream names
+        (:meth:`repro.workloads.patterns.Pattern.stream`) so each
+        ``program()`` invocation on this handle — e.g. every phase of a
+        repeated composite — draws a fresh stream instead of replaying the
+        first one.  Programs run in deterministic order within a client,
+        so the sequence is reproducible across processes.
+        """
+        seq = self._stream_seq
+        self._stream_seq += 1
+        return seq
 
     @property
     def now(self) -> float:
@@ -101,7 +121,10 @@ class IoHandle:
             kind=kind,
         )
         self.rpcs_issued += 1
-        self.bytes_written += size
+        if kind is RpcKind.READ:
+            self.bytes_read += size
+        else:
+            self.bytes_written += size
         self._offset += size
         return self.network.submit(rpc, target)
 
@@ -126,6 +149,16 @@ class IoHandle:
             # Wait for the window to open (any completion frees a slot).
             done = yield self.env.any_of(in_flight)
             in_flight = [ev for ev in in_flight if ev not in done]
+
+    def read(self, total_bytes: int) -> Generator:
+        """Read ``total_bytes`` as a pipelined stream of READ RPCs.
+
+        Identical geometry to :meth:`write` — same chunking, same window,
+        same NRS/TBF token accounting (the scheduler treats both kinds
+        alike) — but the RPCs are classed :attr:`~repro.lustre.rpc.RpcKind.READ`
+        and the volume lands in :attr:`bytes_read`.
+        """
+        yield from self.write(total_bytes, kind=RpcKind.READ)
 
 
 class ClientProcess:

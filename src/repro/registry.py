@@ -11,7 +11,11 @@ sharded runners) can build anything from a string plus ``k=v`` overrides::
 
 Factory keyword defaults double as the parameter schema: ``describe``
 reports them, and :meth:`FactoryRegistry.coerce` converts CLI strings to
-each default's type.
+each default's type.  Per-parameter documentation is *also* part of the
+schema: a numpy-style ``Parameters`` section in the factory's docstring is
+parsed at registration time into :attr:`RegisteredFactory.param_docs`, so
+``describe`` emits one maintained-in-one-place doc line per knob instead of
+hand-written help strings drifting from the signature.
 
 :class:`FactoryRegistry` is the generic machinery, deliberately free of any
 domain imports so every layer can build on it:
@@ -25,13 +29,14 @@ mechanisms.
 from __future__ import annotations
 
 import inspect
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
 __all__ = [
     "RegisteredFactory",
     "FactoryRegistry",
     "normalize_name",
+    "parse_param_docs",
 ]
 
 
@@ -46,6 +51,9 @@ class RegisteredFactory:
     params: Mapping[str, Any]
     #: What the factory builds ("scenario", "campaign", ...); used in errors.
     kind: str = "scenario"
+    #: Per-parameter documentation parsed from the factory docstring's
+    #: numpy-style ``Parameters`` section (empty for undocumented knobs).
+    param_docs: Mapping[str, str] = field(default_factory=dict)
 
     def build(self, **overrides) -> Any:
         unknown = set(overrides) - set(self.params)
@@ -60,6 +68,69 @@ class RegisteredFactory:
 def normalize_name(name: str) -> str:
     """Canonical registry key: lower-case, dashes for underscores."""
     return str(name).strip().lower().replace("_", "-")
+
+
+def parse_param_docs(doc: Optional[str]) -> Dict[str, str]:
+    """Extract ``{parameter: first doc line}`` from a numpy-style docstring.
+
+    Looks for a ``Parameters`` section header (underlined with dashes) and
+    reads each ``name:`` / ``name :`` entry's indented description,
+    collapsing it to a single line.  Anything unparsable simply yields no
+    docs — documentation is additive, never load-bearing.
+    """
+    if not doc:
+        return {}
+    lines = doc.split("\n")
+    docs: Dict[str, str] = {}
+    current: Optional[str] = None
+    buffer: List[str] = []
+
+    def _flush() -> None:
+        nonlocal current, buffer
+        if current is not None and buffer:
+            docs[current] = " ".join(buffer)
+        current, buffer = None, []
+
+    def _is_rule(text: str) -> bool:
+        return bool(text) and set(text) == {"-"}
+
+    # Locate the "Parameters" header (next line is a dash rule).
+    start = None
+    for index in range(len(lines) - 1):
+        if lines[index].strip() == "Parameters" and _is_rule(lines[index + 1].strip()):
+            start = index + 2
+            break
+    if start is None:
+        return {}
+
+    for index in range(start, len(lines)):
+        line = lines[index]
+        stripped = line.strip()
+        if not stripped:
+            continue
+        next_stripped = (
+            lines[index + 1].strip() if index + 1 < len(lines) else ""
+        )
+        if _is_rule(next_stripped):
+            break  # next section header ("Returns", "Example", ...)
+        indent = len(line) - len(line.lstrip())
+        # An entry line: `name:` or `name : type` at the section margin;
+        # description lines are indented beneath their entry.
+        head = stripped.split(":", 1)[0].strip()
+        if (
+            indent == 0
+            and ":" in stripped
+            and head.isidentifier()
+            and (stripped.endswith(":") or " : " in stripped)
+        ):
+            _flush()
+            current = head
+        elif current is not None and indent > 0:
+            buffer.append(stripped)
+        else:
+            break
+    _flush()
+    return docs
 
 
 def _signature_params(
@@ -87,6 +158,10 @@ class FactoryRegistry:
 
     #: Override in subclasses; names the built object in error messages.
     kind = "factory"
+    #: CLI flag ``describe`` tells users to override parameters with;
+    #: subclasses with a dedicated flag (--mechanism-param,
+    #: --workload-param) override it.
+    override_flag = "--param"
 
     def __init__(self) -> None:
         self._entries: Dict[str, RegisteredFactory] = {}
@@ -112,12 +187,14 @@ class FactoryRegistry:
         def _register(fn: Callable[..., Any]):
             if key in self._entries and not overwrite:
                 raise ValueError(f"{self.kind} {key!r} is already registered")
+            doc = inspect.getdoc(fn)
             self._entries[key] = RegisteredFactory(
                 name=key,
                 factory=fn,
-                description=description or (inspect.getdoc(fn) or "").split("\n")[0],
+                description=description or (doc or "").split("\n")[0],
                 params=_signature_params(fn, self.kind),
                 kind=self.kind,
+                param_docs=parse_param_docs(doc),
             )
             return fn
 
@@ -171,9 +248,11 @@ class FactoryRegistry:
         entry = self.get(name)
         lines = [f"{entry.name}: {entry.description}"]
         if entry.params:
-            lines.append("parameters (override with --param k=v):")
+            lines.append(f"parameters (override with {self.override_flag} k=v):")
             for key, default in entry.params.items():
-                lines.append(f"  {key} = {default!r}")
+                doc = entry.param_docs.get(key, "")
+                suffix = f"  — {doc}" if doc else ""
+                lines.append(f"  {key} = {default!r}{suffix}")
         else:
             lines.append("parameters: (none)")
         lines.extend(self._describe_built(entry))

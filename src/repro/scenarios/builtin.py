@@ -32,7 +32,13 @@ from repro.workloads.scenarios import (
     scenario_redistribution,
 )
 from repro.workloads.spec import JobSpec, ProcessSpec
-from repro.workloads.patterns import SequentialWritePattern
+from repro.workloads.patterns import (
+    PoissonArrivalPattern,
+    SequentialWritePattern,
+    TraceReplayPattern,
+)
+from repro.workloads.registry import WORKLOADS
+from repro.workloads.trace import EXAMPLE_TRACE, load_trace, records_by_job
 
 __all__ = ["REGISTRY"]
 
@@ -340,5 +346,271 @@ def _hetero_osts(
         description=(
             f"{len(caps)} OSTs at {capacities} MiB/s; science vs hog placed "
             "round-robin across unequal tiers"
+        ),
+    )
+
+
+@REGISTRY.register(
+    "trace-replay",
+    description="NEW: replay a recorded I/O trace, one job per trace job",
+)
+def _trace_replay(
+    trace: str = "",
+    nodes: str = "",
+    time_scale: float = 1.0,
+    data_scale: float = 1.0,
+    window: int = 8,
+    capacity_mib_s: float = 1024.0,
+    mechanism: str = "adaptbf",
+    interval_s: float = 0.1,
+    duration: float = 0.0,
+) -> ScenarioSpec:
+    """Trace-driven evaluation: the job mix comes from a recorded trace.
+
+    The trace's distinct ``job`` values become :class:`JobSpec` entries
+    (one replay process each, requests issued at their recorded offsets),
+    so real request streams — not synthetic shapes — exercise the
+    mechanism under test.
+
+    Parameters
+    ----------
+    trace:
+        Path to a ``.csv``/``.jsonl`` trace (see
+        :mod:`repro.workloads.trace`); empty replays the bundled example.
+    nodes:
+        Comma-separated node counts assigned to the trace's jobs in
+        sorted-name order (cycled if shorter); empty gives every job one
+        node (equal priorities).
+    time_scale:
+        Multiplier on request offsets (compress/stretch the trace).
+    data_scale:
+        Multiplier on request volumes.
+    window:
+        RPCs in flight per replay process.
+    capacity_mib_s:
+        Per-OST bandwidth in MiB/s.
+    mechanism:
+        Bandwidth mechanism under test (registry name).
+    interval_s:
+        Controller observation period.
+    duration:
+        Simulated-duration cap in seconds; 0 runs to trace completion.
+    """
+    records = load_trace(trace or EXAMPLE_TRACE)
+    grouped = records_by_job(records)
+    counts = tuple(int(n) for n in str(nodes).split(",") if n.strip())
+    jobs = tuple(
+        JobSpec(
+            job_id=job_name,
+            nodes=counts[index % len(counts)] if counts else 1,
+            processes=(
+                ProcessSpec(
+                    TraceReplayPattern(
+                        records=grouped[job_name],
+                        time_scale=time_scale,
+                        data_scale=data_scale,
+                    ),
+                    window=window,
+                ),
+            ),
+        )
+        for index, job_name in enumerate(sorted(grouped))
+    )
+    return ScenarioSpec(
+        name="trace-replay",
+        jobs=jobs,
+        topology=TopologySpec(capacity_mib_s=capacity_mib_s),
+        policy=PolicySpec(mechanism=mechanism, interval_s=interval_s),
+        run=RunSpec(duration_s=duration or None),
+        description=(
+            f"{len(jobs)} job(s) replayed from "
+            f"{trace or EXAMPLE_TRACE.name} "
+            f"({len(records)} records, time_scale={time_scale:g})"
+        ),
+    )
+
+
+@REGISTRY.register(
+    "poisson-storm",
+    description="NEW: seeded storm of Poisson-arrival tenants (irregular demand)",
+)
+def _poisson_storm(
+    n_jobs: int = 5,
+    seed: int = 0,
+    duration_s: float = 12.0,
+    with_hog: bool = True,
+    op_mib: float = 2.0,
+    capacity_mib_s: float = 1024.0,
+    mechanism: str = "adaptbf",
+    interval_s: float = 0.1,
+) -> ScenarioSpec:
+    """Memoryless many-tenant contention: every job is a Poisson source.
+
+    Node counts, arrival rates, process counts and read fractions are
+    drawn from ``random.Random(seed)`` — the stochastic-arrival regime
+    the SDQoSA/control-theory comparisons stress, where demand cannot be
+    predicted from the last interval.  The arrival streams themselves
+    are seeded per client, so the same seed replays bit-identically.
+
+    Parameters
+    ----------
+    n_jobs:
+        Number of Poisson tenants.
+    seed:
+        Root seed for both the job-mix draws and the arrival streams.
+    duration_s:
+        Simulated-duration cap; arrivals are sized to roughly fill it.
+    with_hog:
+        Add a low-priority continuous writer that keeps the OST
+        saturated between arrival clusters.
+    op_mib:
+        Volume of each arrival's op, in MiB.
+    capacity_mib_s:
+        Per-OST bandwidth in MiB/s.
+    mechanism:
+        Bandwidth mechanism under test (registry name).
+    interval_s:
+        Controller observation period.
+    """
+    import random as _random
+
+    if n_jobs <= 0:
+        raise ValueError("n_jobs must be positive")
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    rng = _random.Random(seed)
+    jobs = []
+    for index in range(1, n_jobs + 1):
+        nodes = rng.randint(1, 8)
+        n_procs = rng.randint(1, 2)
+        rate = rng.uniform(4.0, 16.0)
+        read_fraction = rng.choice((0.0, 0.25, 0.5))
+        processes = tuple(
+            ProcessSpec(
+                PoissonArrivalPattern(
+                    rate_per_s=rate,
+                    op_bytes=int(op_mib * MIB),
+                    count=max(2, int(rate * duration_s * 0.8)),
+                    read_fraction=read_fraction,
+                    seed=seed,
+                )
+            )
+            for _ in range(n_procs)
+        )
+        jobs.append(
+            JobSpec(job_id=f"poisson{index}", nodes=nodes, processes=processes)
+        )
+    if with_hog:
+        hog_bytes = max(
+            MIB, int(capacity_mib_s * MIB * duration_s / 4)
+        )
+        jobs.append(
+            JobSpec(
+                job_id="hog",
+                nodes=1,
+                processes=tuple(
+                    ProcessSpec(SequentialWritePattern(hog_bytes))
+                    for _ in range(4)
+                ),
+            )
+        )
+    return ScenarioSpec(
+        name="poisson-storm",
+        jobs=tuple(jobs),
+        topology=TopologySpec(capacity_mib_s=capacity_mib_s),
+        policy=PolicySpec(mechanism=mechanism, interval_s=interval_s),
+        run=RunSpec(duration_s=duration_s, seed=seed),
+        description=(
+            f"{n_jobs} Poisson tenants with seeded-random rates/priorities "
+            f"(seed={seed})"
+            + (" + continuous low-priority hog" if with_hog else "")
+        ),
+    )
+
+
+@REGISTRY.register(
+    "diurnal-mix",
+    description="NEW: day/night load swings against a steady background writer",
+)
+def _diurnal_mix(
+    day_rate_per_s: float = 16.0,
+    night_rate_per_s: float = 2.0,
+    phase_s: float = 3.0,
+    days: int = 2,
+    op_mib: float = 2.0,
+    diurnal_procs: int = 3,
+    diurnal_nodes: int = 4,
+    hog_mib: float = 96.0,
+    seed: int = 0,
+    mechanism: str = "adaptbf",
+    interval_s: float = 0.1,
+) -> ScenarioSpec:
+    """Slow demand swings: a diurnal tenant vs a steady low-priority hog.
+
+    The diurnal job's demand drops by ``day_rate / night_rate`` every
+    ``phase_s`` — lending opportunities on a timescale far above the
+    controller interval, the regime where adaptive borrowing should beat
+    static shares most visibly.
+
+    Parameters
+    ----------
+    day_rate_per_s:
+        Mean op arrival rate during day phases.
+    night_rate_per_s:
+        Mean op arrival rate during night phases.
+    phase_s:
+        Nominal length of each day and each night phase.
+    days:
+        Number of day+night cycles.
+    op_mib:
+        Volume of each diurnal op, in MiB.
+    diurnal_procs:
+        Processes in the diurnal job.
+    diurnal_nodes:
+        Node count (priority weight) of the diurnal job.
+    hog_mib:
+        Volume each of the hog's 4 processes writes, in MiB.
+    seed:
+        Root seed of the diurnal arrival streams.
+    mechanism:
+        Bandwidth mechanism under test (registry name).
+    interval_s:
+        Controller observation period.
+    """
+    pattern = WORKLOADS.build(
+        "diurnal",
+        day_rate_per_s=day_rate_per_s,
+        night_rate_per_s=night_rate_per_s,
+        phase_s=phase_s,
+        days=days,
+        op_mib=op_mib,
+        seed=seed,
+    )
+    jobs = (
+        JobSpec(
+            job_id="diurnal",
+            nodes=diurnal_nodes,
+            processes=tuple(
+                ProcessSpec(pattern) for _ in range(diurnal_procs)
+            ),
+        ),
+        JobSpec(
+            job_id="hog",
+            nodes=1,
+            processes=tuple(
+                ProcessSpec(SequentialWritePattern(int(hog_mib * MIB)))
+                for _ in range(4)
+            ),
+        ),
+    )
+    return ScenarioSpec(
+        name="diurnal-mix",
+        jobs=jobs,
+        policy=PolicySpec(mechanism=mechanism, interval_s=interval_s),
+        run=RunSpec(duration_s=None, seed=seed),
+        description=(
+            f"{diurnal_nodes}-node diurnal tenant swinging "
+            f"{day_rate_per_s:g}→{night_rate_per_s:g} ops/s every "
+            f"{phase_s:g}s vs a 1-node steady hog"
         ),
     )

@@ -283,7 +283,14 @@ class RunSpec:
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """One complete, validated experiment description."""
+    """One complete, validated experiment description.
+
+    ``workload``/``workload_params`` record a workload-axis override
+    (:meth:`with_workload`): when set, every process's pattern was rebuilt
+    from that :data:`repro.workloads.registry.WORKLOADS` entry, and the
+    pair is kept canonical (sorted tuple of items) so specs stay frozen,
+    hashable and picklable for ``--jobs N`` campaign fan-out.
+    """
 
     name: str
     jobs: Tuple[JobSpec, ...]
@@ -291,12 +298,40 @@ class ScenarioSpec:
     policy: PolicySpec = field(default_factory=PolicySpec)
     run: RunSpec = field(default_factory=RunSpec)
     description: str = ""
+    #: Registry name of the workload the job mix was rebuilt from, or ""
+    #: when the jobs carry their scenario-native patterns.
+    workload: str = ""
+    #: Canonical (sorted tuple) factory overrides of that workload.
+    workload_params: Mapping[str, Any] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("scenario name must be non-empty")
         object.__setattr__(self, "jobs", tuple(self.jobs))
         validate_jobs(list(self.jobs))
+        params = self.workload_params
+        items = params.items() if isinstance(params, Mapping) else tuple(params)
+        canonical = tuple(sorted((str(k), v) for k, v in items))
+        object.__setattr__(self, "workload_params", canonical)
+        if self.workload:
+            from repro.workloads.registry import WORKLOADS
+
+            try:
+                entry = WORKLOADS.get(self.workload)
+            except KeyError:
+                raise ValueError(
+                    f"unknown workload {self.workload!r}; registered: "
+                    f"{WORKLOADS.names()}"
+                ) from None
+            object.__setattr__(self, "workload", entry.name)
+            unknown = {k for k, _ in canonical} - set(entry.params)
+            if unknown:
+                raise ValueError(
+                    f"workload {entry.name!r} has no parameter(s) "
+                    f"{sorted(unknown)}; accepted: {sorted(entry.params)}"
+                )
+        elif canonical:
+            raise ValueError("workload_params given without a workload name")
 
     # -- derived views -----------------------------------------------------
     @property
@@ -346,6 +381,58 @@ class ScenarioSpec:
             self, run=dataclasses.replace(self.run, **changes)
         )
 
+    def with_workload(
+        self, workload: str, workload_params: Mapping[str, Any] = ()
+    ) -> "ScenarioSpec":
+        """Copy with every process's pattern rebuilt from a registered workload.
+
+        The scenario's job *structure* — job ids, node counts (hence
+        priorities), process counts and windows — is preserved; only what
+        each process *does* is swapped for the named
+        :data:`~repro.workloads.registry.WORKLOADS` pattern.  This is what
+        ``run <scenario> --workload NAME`` and the reserved ``workload``
+        campaign axis do, making any scenario's contention structure
+        reusable under any demand shape.
+
+        If the workload factory takes a ``seed`` that ``workload_params``
+        does not pin, the run's seed is passed — campaign cells' derived
+        seeds reach pattern randomness with no extra plumbing.  One
+        pattern instance is shared by all processes; patterns are
+        stateless and seeded ones derive independent per-client RNG
+        substreams, so sharing is sound.
+        """
+        from repro.workloads.registry import WORKLOADS
+
+        try:
+            entry = WORKLOADS.get(workload)
+        except KeyError:
+            raise ValueError(
+                f"unknown workload {workload!r}; registered: "
+                f"{WORKLOADS.names()}"
+            ) from None
+        params = (
+            dict(workload_params)
+            if isinstance(workload_params, Mapping)
+            else dict(tuple(workload_params))
+        )
+        kwargs = dict(params)
+        if "seed" in entry.params and "seed" not in kwargs:
+            kwargs["seed"] = self.run.seed
+        pattern = entry.build(**kwargs)
+        jobs = tuple(
+            dataclasses.replace(
+                job,
+                processes=tuple(
+                    dataclasses.replace(proc, pattern=pattern)
+                    for proc in job.processes
+                ),
+            )
+            for job in self.jobs
+        )
+        return dataclasses.replace(
+            self, jobs=jobs, workload=entry.name, workload_params=params
+        )
+
     # -- description -------------------------------------------------------
     def describe(self) -> str:
         """Human-readable multi-line summary of the spec."""
@@ -359,6 +446,14 @@ class ScenarioSpec:
         ]
         if self.description:
             lines.append(f"  {self.description}")
+        if self.workload:
+            wl_params = ", ".join(
+                f"{k}={v!r}" for k, v in self.workload_params
+            )
+            lines.append(
+                f"workload: {self.workload}"
+                + (f" [{wl_params}]" if wl_params else "")
+            )
         mech_params = ""
         if self.policy.mechanism_params:
             mech_params = (

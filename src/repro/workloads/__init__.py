@@ -1,26 +1,41 @@
-"""Synthetic workloads modelled after the paper's Filebench personalities.
+"""Synthetic and trace-driven workloads: the pluggable workload axis.
 
-The paper drives every experiment with Filebench [36] jobs that combine three
-I/O shapes; :mod:`repro.workloads.patterns` provides each as a *pattern*
-object whose ``program(io)`` generator runs on a simulated client:
+The paper drives every experiment with Filebench [36] jobs combining three
+I/O shapes; this package keeps those and grows the vocabulary into a
+registry-driven plugin axis mirroring scenarios, campaigns and mechanisms:
 
-* file-per-process **sequential** streams (the 16-process writers),
-* periodic short **bursts** of varying volume and interval,
-* **delayed continuous** streams that switch on mid-experiment.
-
-:mod:`repro.workloads.spec` defines the job/process description consumed by
-the cluster builder, and :mod:`repro.workloads.scenarios` encodes the three
-evaluation scenarios of §IV-D/E/F exactly (priorities, process counts, burst
-interleavings, 20/50/80 s delays) with scale knobs so benches run in seconds
-while the full-size paper configuration remains one flag away.
+* :mod:`repro.workloads.patterns` — pattern objects whose ``program(io)``
+  generator runs on a simulated client: sequential writers *and readers*,
+  mixed read/write streams, periodic bursts, delayed continuous streams,
+  Poisson arrivals, on/off phases, phased (diurnal) composites, and trace
+  replay;
+* :mod:`repro.workloads.trace` — the ``(t_offset_s, job, op, nbytes)``
+  trace format, CSV/JSONL loaders with validation, and the bundled
+  example trace;
+* :mod:`repro.workloads.registry` — :data:`~repro.workloads.registry.WORKLOADS`,
+  the named factory registry behind ``workload list|describe``,
+  ``run --workload NAME --workload-param K=V``, and the reserved
+  ``workload`` campaign axis;
+* :mod:`repro.workloads.spec` — the job/process description consumed by
+  the cluster builder;
+* :mod:`repro.workloads.scenarios` — the paper's three §IV-D/E/F
+  evaluation mixes plus the post-paper mixes (burst storms, elastic
+  churn), with scale knobs so benches run in seconds.
 """
 
 from repro.workloads.patterns import (
     BurstPattern,
     DelayedContinuousPattern,
+    MixedReadWritePattern,
+    OnOffPattern,
     Pattern,
+    PhasedPattern,
+    PoissonArrivalPattern,
+    SequentialReadPattern,
     SequentialWritePattern,
+    TraceReplayPattern,
 )
+from repro.workloads.registry import WORKLOADS, WorkloadRegistry
 from repro.workloads.scenarios import (
     ScenarioConfig,
     scenario_allocation,
@@ -30,18 +45,40 @@ from repro.workloads.scenarios import (
     scenario_redistribution,
 )
 from repro.workloads.spec import JobSpec, ProcessSpec
+from repro.workloads.trace import (
+    EXAMPLE_TRACE,
+    TraceFormatError,
+    TraceRecord,
+    load_trace,
+    records_by_job,
+    validate_trace,
+)
 
 __all__ = [
     "BurstPattern",
     "DelayedContinuousPattern",
+    "EXAMPLE_TRACE",
     "JobSpec",
+    "MixedReadWritePattern",
+    "OnOffPattern",
     "Pattern",
+    "PhasedPattern",
+    "PoissonArrivalPattern",
     "ProcessSpec",
     "ScenarioConfig",
+    "SequentialReadPattern",
     "SequentialWritePattern",
+    "TraceFormatError",
+    "TraceRecord",
+    "TraceReplayPattern",
+    "WORKLOADS",
+    "WorkloadRegistry",
+    "load_trace",
+    "records_by_job",
     "scenario_allocation",
     "scenario_burst_storm",
     "scenario_elastic_churn",
     "scenario_recompensation",
     "scenario_redistribution",
+    "validate_trace",
 ]

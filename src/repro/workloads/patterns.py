@@ -3,21 +3,45 @@
 A pattern is a small immutable object describing *what one client process
 does*; its :meth:`~Pattern.program` method returns the generator the client
 executes.  Patterns compose into :class:`~repro.workloads.spec.ProcessSpec`
-entries, one per Filebench-style process.
+entries, one per Filebench-style process, and are resolvable by name with
+parameter overrides through :data:`repro.workloads.registry.WORKLOADS` —
+the workload counterpart of the scenario/campaign/mechanism registries.
+
+Every pattern here is a frozen dataclass: hashable, picklable (so specs
+embedding them survive ``--jobs N`` campaign fan-out) and stateless — any
+per-run state lives in the generator frame, and any randomness is drawn
+from a :class:`~repro.sim.rng.RngStreams` substream derived from the
+pattern's own ``seed`` plus the executing client's identity, so one shared
+pattern instance yields distinct-but-reproducible streams per process.
+
+The vocabulary spans the paper's Filebench shapes (sequential writers,
+periodic bursts, delayed continuous streams) and the irregular-demand
+shapes trace-driven evaluations call for: sequential *reads*, mixed
+read/write streams, Poisson arrivals, on/off (bursty-idle) phases, phased
+composites (diurnal load), and replay of recorded traces
+(:class:`TraceReplayPattern`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Optional
+from typing import Generator, Optional, Sequence, Tuple
 
 from repro.lustre.client import IoHandle
+from repro.sim.rng import RngStreams
+from repro.workloads.trace import TraceRecord, validate_trace
 
 __all__ = [
     "Pattern",
     "SequentialWritePattern",
+    "SequentialReadPattern",
+    "MixedReadWritePattern",
     "BurstPattern",
     "DelayedContinuousPattern",
+    "PoissonArrivalPattern",
+    "OnOffPattern",
+    "PhasedPattern",
+    "TraceReplayPattern",
 ]
 
 
@@ -28,8 +52,24 @@ class Pattern:
         raise NotImplementedError
 
     def total_bytes_hint(self) -> Optional[int]:
-        """Upper bound on bytes this pattern writes, if statically known."""
+        """Upper bound on bytes this pattern moves, if statically known."""
         return None
+
+    def stream(self, io: IoHandle, kind: str = "pattern"):
+        """The pattern's RNG substream for the executing client.
+
+        Derived from the pattern's ``seed`` attribute (0 when the pattern
+        has none), the client's job/process identity, and the handle's
+        invocation sequence number.  Every process sharing one pattern
+        instance draws an independent stream; every *invocation* on one
+        process (each phase of a repeated :class:`PhasedPattern`) draws a
+        fresh stream rather than replaying the first; and the whole
+        construction is name-derived, so the same spec replays
+        bit-identically in any worker process.
+        """
+        seed = int(getattr(self, "seed", 0))
+        name = f"{kind}/{io.job_id}/{io.client_id}/{io.next_stream_seq()}"
+        return RngStreams(seed).get(name)
 
 
 @dataclass(frozen=True)
@@ -142,3 +182,288 @@ class DelayedContinuousPattern(Pattern):
         if self.delay_s:
             yield io.sleep(self.delay_s)
         yield from io.write(self.total_bytes)
+
+
+@dataclass(frozen=True)
+class SequentialReadPattern(Pattern):
+    """File-per-process sequential *read* of ``total_bytes``.
+
+    The paper evaluates writers only; reads traverse the identical
+    NRS/TBF/token path (one token per RPC regardless of direction), so this
+    is the minimal pattern that opens the read side of the simulator —
+    checkpoint-restore, analysis and staging phases of real HPC jobs.
+    """
+
+    total_bytes: int
+    start_delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.total_bytes <= 0:
+            raise ValueError(f"total_bytes must be positive, got {self.total_bytes}")
+        if self.start_delay_s < 0:
+            raise ValueError(f"start_delay_s must be >= 0, got {self.start_delay_s}")
+
+    def total_bytes_hint(self) -> int:
+        return self.total_bytes
+
+    def program(self, io: IoHandle) -> Generator:
+        if self.start_delay_s:
+            yield io.sleep(self.start_delay_s)
+        yield from io.read(self.total_bytes)
+
+
+@dataclass(frozen=True)
+class MixedReadWritePattern(Pattern):
+    """Interleaved read/write stream at a target read fraction.
+
+    The stream is chopped into ``chunk_bytes`` chunks; chunk ``i`` is a
+    read exactly when the running read count would otherwise fall below
+    ``read_fraction`` (a deterministic largest-remainder interleave — no
+    randomness, so the mix is identical everywhere).  Models
+    analysis-style jobs that alternate ingest and result writing.
+    """
+
+    total_bytes: int
+    read_fraction: float = 0.5
+    chunk_bytes: int = 8 << 20
+    start_delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.total_bytes <= 0:
+            raise ValueError(f"total_bytes must be positive, got {self.total_bytes}")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError(
+                f"read_fraction must be in [0, 1], got {self.read_fraction}"
+            )
+        if self.chunk_bytes <= 0:
+            raise ValueError(f"chunk_bytes must be positive, got {self.chunk_bytes}")
+        if self.start_delay_s < 0:
+            raise ValueError(f"start_delay_s must be >= 0, got {self.start_delay_s}")
+
+    def total_bytes_hint(self) -> int:
+        return self.total_bytes
+
+    def program(self, io: IoHandle) -> Generator:
+        if self.start_delay_s:
+            yield io.sleep(self.start_delay_s)
+        remaining = self.total_bytes
+        index = 0
+        while remaining > 0:
+            size = min(self.chunk_bytes, remaining)
+            remaining -= size
+            # Chunk i is a read iff the cumulative read quota crosses an
+            # integer boundary: reads land every 1/read_fraction chunks.
+            is_read = int((index + 1) * self.read_fraction) > int(
+                index * self.read_fraction
+            )
+            if is_read:
+                yield from io.read(size)
+            else:
+                yield from io.write(size)
+            index += 1
+
+
+@dataclass(frozen=True)
+class PoissonArrivalPattern(Pattern):
+    """Memoryless request arrivals: ``count`` ops with exponential gaps.
+
+    Inter-arrival times are drawn from an exponential distribution with
+    mean ``1 / rate_per_s``; each arrival moves ``op_bytes`` (read with
+    probability ``read_fraction``, else written).  Draws come from the
+    pattern's seeded :class:`~repro.sim.rng.RngStreams` substream keyed by
+    the client identity, so runs are reproducible across processes and
+    every process sharing the pattern gets an independent arrival stream.
+
+    Arrivals are closed-loop: each drawn gap starts after the previous op
+    completes, so a slow server back-pressures subsequent arrivals — the
+    blocking-client behaviour everything else in the simulator follows.
+    """
+
+    rate_per_s: float
+    op_bytes: int
+    count: int
+    read_fraction: float = 0.0
+    seed: int = 0
+    start_delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0:
+            raise ValueError(f"rate_per_s must be positive, got {self.rate_per_s}")
+        if self.op_bytes <= 0:
+            raise ValueError(f"op_bytes must be positive, got {self.op_bytes}")
+        if self.count <= 0:
+            raise ValueError(f"count must be positive, got {self.count}")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError(
+                f"read_fraction must be in [0, 1], got {self.read_fraction}"
+            )
+        if self.start_delay_s < 0:
+            raise ValueError(f"start_delay_s must be >= 0, got {self.start_delay_s}")
+
+    def total_bytes_hint(self) -> int:
+        return self.op_bytes * self.count
+
+    def program(self, io: IoHandle) -> Generator:
+        rng = self.stream(io, kind="poisson")
+        if self.start_delay_s:
+            yield io.sleep(self.start_delay_s)
+        for _ in range(self.count):
+            gap = float(rng.exponential(1.0 / self.rate_per_s))
+            if gap > 0:
+                yield io.sleep(gap)
+            if self.read_fraction and float(rng.random()) < self.read_fraction:
+                yield from io.read(self.op_bytes)
+            else:
+                yield from io.write(self.op_bytes)
+
+
+@dataclass(frozen=True)
+class OnOffPattern(Pattern):
+    """Alternating active/idle phases (a Markov-style on/off source).
+
+    Each of ``cycles`` cycles writes ``on_bytes`` as fast as the server
+    admits, sleeps out the remainder of the nominal ``on_s`` window if it
+    finished early, then idles ``off_s``.  With ``jitter_s > 0`` the idle
+    length is perturbed uniformly in ``±jitter_s`` (seeded per client), so
+    several on/off jobs drift in and out of phase instead of thundering in
+    lockstep.
+    """
+
+    on_bytes: int
+    on_s: float
+    off_s: float
+    cycles: int
+    jitter_s: float = 0.0
+    seed: int = 0
+    start_delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.on_bytes <= 0:
+            raise ValueError(f"on_bytes must be positive, got {self.on_bytes}")
+        if self.on_s <= 0:
+            raise ValueError(f"on_s must be positive, got {self.on_s}")
+        if self.off_s < 0:
+            raise ValueError(f"off_s must be >= 0, got {self.off_s}")
+        if self.cycles <= 0:
+            raise ValueError(f"cycles must be positive, got {self.cycles}")
+        if self.jitter_s < 0:
+            raise ValueError(f"jitter_s must be >= 0, got {self.jitter_s}")
+        if self.jitter_s >= self.off_s and self.jitter_s > 0:
+            raise ValueError(
+                f"jitter_s must be smaller than off_s "
+                f"(got {self.jitter_s} vs {self.off_s})"
+            )
+        if self.start_delay_s < 0:
+            raise ValueError(f"start_delay_s must be >= 0, got {self.start_delay_s}")
+
+    def total_bytes_hint(self) -> int:
+        return self.on_bytes * self.cycles
+
+    def program(self, io: IoHandle) -> Generator:
+        rng = self.stream(io, kind="onoff") if self.jitter_s else None
+        if self.start_delay_s:
+            yield io.sleep(self.start_delay_s)
+        for cycle in range(self.cycles):
+            phase_start = io.now
+            yield from io.write(self.on_bytes)
+            on_end = phase_start + self.on_s
+            if on_end > io.now:
+                yield io.sleep(on_end - io.now)
+            if cycle == self.cycles - 1:
+                break
+            idle = self.off_s
+            if rng is not None:
+                idle += float(rng.uniform(-self.jitter_s, self.jitter_s))
+            if idle > 0:
+                yield io.sleep(idle)
+
+
+@dataclass(frozen=True)
+class PhasedPattern(Pattern):
+    """Sub-patterns executed back to back, ``repeat`` times over.
+
+    The composition primitive behind diurnal/phased load: a day/night
+    cycle is ``PhasedPattern((day, night), repeat=days)``.  The hint sums
+    the phases' hints (and is unknown if any phase's is).
+    """
+
+    phases: Tuple[Pattern, ...]
+    repeat: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "phases", tuple(self.phases))
+        if not self.phases:
+            raise ValueError("phases must be non-empty")
+        for phase in self.phases:
+            if not isinstance(phase, Pattern):
+                raise ValueError(
+                    f"phases must be Pattern instances, got {type(phase).__name__}"
+                )
+        if self.repeat <= 0:
+            raise ValueError(f"repeat must be positive, got {self.repeat}")
+
+    def total_bytes_hint(self) -> Optional[int]:
+        total = 0
+        for phase in self.phases:
+            hint = phase.total_bytes_hint()
+            if hint is None:
+                return None
+            total += hint
+        return total * self.repeat
+
+    def program(self, io: IoHandle) -> Generator:
+        for _ in range(self.repeat):
+            for phase in self.phases:
+                yield from phase.program(io)
+
+
+@dataclass(frozen=True)
+class TraceReplayPattern(Pattern):
+    """Replay recorded ``(t_offset_s, job, op, nbytes)`` requests.
+
+    Each record is issued at its (scaled) trace offset relative to the
+    pattern's start; a request still in flight when the next offset
+    arrives back-pressures the replay (offsets are *not* re-clocked), the
+    standard closed-loop replay semantic.  Records usually come from
+    :func:`repro.workloads.trace.load_trace`, pre-filtered to one job via
+    :func:`~repro.workloads.trace.records_by_job`.
+
+    ``time_scale`` stretches/compresses the arrival times and
+    ``data_scale`` the volumes — the same two knobs every scenario uses —
+    so a production-length trace can be replayed at bench scale.
+    """
+
+    records: Tuple[TraceRecord, ...]
+    time_scale: float = 1.0
+    data_scale: float = 1.0
+    start_delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "records", tuple(self.records))
+        validate_trace(self.records, source="TraceReplayPattern")
+        if self.time_scale <= 0:
+            raise ValueError(f"time_scale must be positive, got {self.time_scale}")
+        if self.data_scale <= 0:
+            raise ValueError(f"data_scale must be positive, got {self.data_scale}")
+        if self.start_delay_s < 0:
+            raise ValueError(f"start_delay_s must be >= 0, got {self.start_delay_s}")
+
+    def _scaled_bytes(self, nbytes: int) -> int:
+        return max(1, int(nbytes * self.data_scale))
+
+    def total_bytes_hint(self) -> int:
+        return sum(self._scaled_bytes(record.nbytes) for record in self.records)
+
+    def program(self, io: IoHandle) -> Generator:
+        start = io.now + self.start_delay_s
+        if self.start_delay_s:
+            yield io.sleep(self.start_delay_s)
+        for record in self.records:
+            due = start + record.t_offset_s * self.time_scale
+            if due > io.now:
+                yield io.sleep(due - io.now)
+            nbytes = self._scaled_bytes(record.nbytes)
+            if record.op == "read":
+                yield from io.read(nbytes)
+            else:
+                yield from io.write(nbytes)

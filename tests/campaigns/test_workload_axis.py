@@ -1,0 +1,103 @@
+"""The reserved ``workload`` campaign axis and the workload-shootout."""
+
+import json
+
+from repro.campaigns import CAMPAIGNS, run_campaign, write_artifacts
+from repro.campaigns.spec import CampaignSpec, ParameterAxis
+
+
+def small_shootout(**overrides):
+    params = dict(
+        workloads="seq-write,poisson", duration_s=2.0, seed=1
+    )
+    params.update(overrides)
+    return CAMPAIGNS.build("workload-shootout", **params)
+
+
+class TestWorkloadAxisResolution:
+    def test_cells_carry_workload(self):
+        campaign = small_shootout()
+        assert [cell.params["workload"] for cell in campaign.cells()] == [
+            "seq-write",
+            "poisson",
+        ]
+
+    def test_resolve_applies_with_workload(self):
+        campaign = small_shootout()
+        specs = [campaign.resolve(cell) for cell in campaign.cells()]
+        assert [spec.workload for spec in specs] == ["seq-write", "poisson"]
+        # The base scenario's contention structure is preserved.
+        assert all(spec.job_ids == ["science", "hog"] for spec in specs)
+
+    def test_cell_seed_reaches_seeded_workload(self):
+        campaign = small_shootout()
+        cell = campaign.cells()[1]  # the poisson cell
+        spec = campaign.resolve(cell)
+        assert spec.run.seed == cell.seed
+        assert spec.jobs[0].processes[0].pattern.seed == cell.seed
+
+    def test_workload_axis_on_any_campaign(self):
+        """`workload` is reserved on every campaign, not just the shootout."""
+        campaign = CampaignSpec(
+            name="adhoc",
+            scenario="quickstart",
+            axes=(ParameterAxis("workload", ("seq-read", "on-off")),),
+            base_params={"file_mib": 8.0, "duration": 1.0},
+        )
+        specs = [campaign.resolve(cell) for cell in campaign.cells()]
+        assert [spec.workload for spec in specs] == ["seq-read", "on-off"]
+
+    def test_default_sweeps_every_registered_workload(self):
+        from repro.workloads.registry import WORKLOADS
+
+        campaign = CAMPAIGNS.build("workload-shootout")
+        assert [cell.params["workload"] for cell in campaign.cells()] == list(
+            WORKLOADS.names()
+        )
+
+    def test_unknown_workload_fails_fast(self):
+        import pytest
+
+        with pytest.raises(KeyError, match="unknown workload"):
+            CAMPAIGNS.build("workload-shootout", workloads="nope")
+
+    def test_duration_cap_reaches_cells(self):
+        campaign = small_shootout()
+        spec = campaign.resolve(campaign.cells()[0])
+        assert spec.run.duration_s == 2.0
+
+    def test_capless_scenario_rejected_not_silently_uncapped(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="no duration cap"):
+            CAMPAIGNS.build("workload-shootout", scenario="allocation")
+        # Explicitly disabling the cap is the supported escape hatch.
+        campaign = CAMPAIGNS.build(
+            "workload-shootout",
+            scenario="allocation",
+            workloads="seq-write",
+            duration_s=0,
+        )
+        assert campaign.resolve(campaign.cells()[0]).run.duration_s is None
+
+
+class TestWorkloadShootoutExecution:
+    def test_rows_identical_across_worker_counts(self, tmp_path):
+        campaign = small_shootout()
+        serial = run_campaign(campaign, jobs=1)
+        parallel = run_campaign(campaign, jobs=2)
+        dir_a, dir_b = tmp_path / "a", tmp_path / "b"
+        write_artifacts(serial, dir_a)
+        write_artifacts(parallel, dir_b)
+        assert (dir_a / "rows.json").read_bytes() == (
+            dir_b / "rows.json"
+        ).read_bytes()
+
+    def test_rerun_command_emits_workload_flag(self, tmp_path):
+        campaign = small_shootout()
+        result = run_campaign(campaign, jobs=1)
+        written = write_artifacts(result, tmp_path)
+        manifest = json.loads(written["manifest"].read_text())
+        reruns = [cell["rerun"] for cell in manifest["cells"]]
+        assert any("--workload poisson" in cmd for cmd in reruns)
+        assert all("--param workload=" not in cmd for cmd in reruns)

@@ -1,0 +1,44 @@
+"""Intra-repo links in README/docs/DESIGN.md must point at real files.
+
+External (http/https/mailto) links and pure in-page anchors are skipped;
+everything else is resolved relative to the file containing it and must
+exist — a broken module path or renamed doc fails CI.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", REPO_ROOT / "DESIGN.md"]
+    + list((REPO_ROOT / "docs").glob("*.md"))
+)
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def intra_repo_links(path: Path):
+    for target in _LINK.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target
+
+
+def test_doc_files_present():
+    for path in DOC_FILES:
+        assert path.exists(), f"expected doc file missing: {path}"
+    assert any(p.name == "architecture.md" for p in DOC_FILES)
+    assert any(p.name == "extending.md" for p in DOC_FILES)
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_intra_repo_links_resolve(doc):
+    broken = []
+    for target in intra_repo_links(doc):
+        resolved = (doc.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"{doc.name}: broken intra-repo link(s): {broken}"

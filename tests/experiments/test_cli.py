@@ -246,3 +246,82 @@ class TestMechanismCli:
         out = capsys.readouterr().out
         assert "mechanism shootout" in out
         assert "fairness" in out
+
+
+class TestWorkloadCli:
+    def test_workload_list(self, capsys):
+        assert main(["workload", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("seq-write", "seq-read", "poisson", "trace-replay"):
+            assert name in out
+        assert "--workload" in out
+
+    def test_workload_describe(self, capsys):
+        assert main(["workload", "describe", "on-off"]) == 0
+        out = capsys.readouterr().out
+        assert "on_mib" in out
+        assert "OnOffPattern" in out
+
+    def test_workload_describe_unknown_exits(self):
+        with pytest.raises(SystemExit):
+            main(["workload", "describe", "nope"])
+
+    def test_run_with_workload_override(self, capsys):
+        code = main(
+            [
+                "run",
+                "quickstart",
+                "--workload",
+                "seq-read",
+                "--workload-param",
+                "total_mib=8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workload: seq-read" in out
+        assert "achieved bandwidth (adaptbf)" in out
+
+    def test_run_unknown_workload_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "quickstart", "--workload", "bogus"])
+
+    def test_run_unknown_workload_param_exits(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "run",
+                    "quickstart",
+                    "--workload",
+                    "poisson",
+                    "--workload-param",
+                    "bogus=1",
+                ]
+            )
+
+    def test_workload_param_without_workload_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "quickstart", "--workload-param", "total_mib=8"])
+
+    def test_figure_adapters_reject_workload_flags(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig3", "--workload", "poisson"])
+
+    def test_run_trace_replay_scenario(self, capsys):
+        code = main(
+            [
+                "run",
+                "trace-replay",
+                "--param",
+                "time_scale=0.25",
+                "--param",
+                "data_scale=0.25",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ingest" in out and "analysis" in out and "checkpoint" in out
+
+    def test_scenario_list_mentions_workloads(self, capsys):
+        assert main(["list"]) == 0
+        assert "workload list" in capsys.readouterr().out

@@ -1,0 +1,95 @@
+"""The workload-axis scenarios: trace-replay, poisson-storm, diurnal-mix."""
+
+import pytest
+
+from repro.scenarios import REGISTRY, run_scenario
+from repro.workloads.trace import EXAMPLE_TRACE, load_trace, records_by_job
+
+MB = 1 << 20
+
+
+class TestTraceReplayScenario:
+    def test_one_job_per_trace_job(self):
+        spec = REGISTRY.build("trace-replay")
+        trace_jobs = sorted(records_by_job(load_trace(EXAMPLE_TRACE)))
+        assert spec.job_ids == trace_jobs
+        assert all(job.nodes == 1 for job in spec.jobs)
+
+    def test_nodes_assigned_in_sorted_order(self):
+        spec = REGISTRY.build("trace-replay", nodes="3,1")
+        # analysis, checkpoint, ingest sorted; counts cycle 3,1,3.
+        assert [job.nodes for job in spec.jobs] == [3, 1, 3]
+
+    def test_custom_trace(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(
+            "t_offset_s,job,op,nbytes\n0.0,solo,write,1048576\n"
+        )
+        spec = REGISTRY.build("trace-replay", trace=str(path))
+        assert spec.job_ids == ["solo"]
+
+    def test_runs_to_completion(self):
+        result = run_scenario(
+            REGISTRY.build("trace-replay", time_scale=0.25, data_scale=0.25)
+        )
+        assert result.clients_finished
+        assert result.summary.aggregate_mib_s > 0
+
+    def test_malformed_trace_fails_at_build(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("t_offset_s,job,op,nbytes\n0.0,a,chmod,1\n")
+        with pytest.raises(ValueError):
+            REGISTRY.build("trace-replay", trace=str(path))
+
+
+class TestPoissonStormScenario:
+    def test_seeded_mix_is_reproducible(self):
+        a = REGISTRY.build("poisson-storm", seed=5)
+        b = REGISTRY.build("poisson-storm", seed=5)
+        assert a.jobs == b.jobs
+
+    def test_different_seed_different_mix(self):
+        a = REGISTRY.build("poisson-storm", seed=5)
+        b = REGISTRY.build("poisson-storm", seed=6)
+        assert a.jobs != b.jobs
+
+    def test_hog_optional(self):
+        with_hog = REGISTRY.build("poisson-storm", n_jobs=2, with_hog=True)
+        without = REGISTRY.build("poisson-storm", n_jobs=2, with_hog=False)
+        assert "hog" in with_hog.job_ids
+        assert "hog" not in without.job_ids
+
+    def test_runs(self):
+        result = run_scenario(
+            REGISTRY.build(
+                "poisson-storm", n_jobs=2, duration_s=2.0, with_hog=False
+            )
+        )
+        assert result.summary.aggregate_mib_s > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            REGISTRY.build("poisson-storm", n_jobs=0)
+        with pytest.raises(ValueError):
+            REGISTRY.build("poisson-storm", duration_s=0)
+
+
+class TestDiurnalMixScenario:
+    def test_structure(self):
+        spec = REGISTRY.build("diurnal-mix")
+        assert spec.job_ids == ["diurnal", "hog"]
+        assert spec.jobs[0].nodes == 4
+
+    def test_runs(self):
+        result = run_scenario(
+            REGISTRY.build(
+                "diurnal-mix", days=1, phase_s=1.0, hog_mib=16.0
+            )
+        )
+        assert result.clients_finished
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            REGISTRY.build("diurnal-mix", days=0)
+        with pytest.raises(ValueError):
+            REGISTRY.build("diurnal-mix", phase_s=0)

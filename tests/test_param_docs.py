@@ -1,0 +1,75 @@
+"""The shared registry's docstring-schema parser (parse_param_docs)."""
+
+from repro.registry import FactoryRegistry, parse_param_docs
+
+
+class TestParseParamDocs:
+    def test_numpy_style_section(self):
+        doc = (
+            "Summary line.\n"
+            "\n"
+            "Parameters\n"
+            "----------\n"
+            "alpha:\n"
+            "    Smoothing factor in (0, 1].\n"
+            "count:\n"
+            "    Total ops issued,\n"
+            "    across all phases.\n"
+        )
+        docs = parse_param_docs(doc)
+        assert docs == {
+            "alpha": "Smoothing factor in (0, 1].",
+            "count": "Total ops issued, across all phases.",
+        }
+
+    def test_stops_at_next_section(self):
+        doc = (
+            "Summary.\n\n"
+            "Parameters\n"
+            "----------\n"
+            "x:\n"
+            "    A knob.\n"
+            "\n"
+            "Returns\n"
+            "-------\n"
+            "Nothing of note.\n"
+        )
+        docs = parse_param_docs(doc)
+        assert docs == {"x": "A knob."}
+
+    def test_name_colon_type_form(self):
+        doc = "Parameters\n----------\nx : float\n    A knob.\n"
+        assert parse_param_docs(doc) == {"x": "A knob."}
+
+    def test_no_section(self):
+        assert parse_param_docs("Just a summary.") == {}
+        assert parse_param_docs(None) == {}
+        assert parse_param_docs("") == {}
+
+    def test_registration_captures_docs(self):
+        registry = FactoryRegistry()
+
+        @registry.register("documented")
+        def _factory(gain: float = 0.5):
+            """A documented factory.
+
+            Parameters
+            ----------
+            gain:
+                Loop gain of the thing.
+            """
+            return gain
+
+        entry = registry.get("documented")
+        assert entry.param_docs == {"gain": "Loop gain of the thing."}
+        assert "Loop gain of the thing." in registry.describe("documented")
+
+    def test_undocumented_params_describe_cleanly(self):
+        registry = FactoryRegistry()
+
+        @registry.register("bare", description="no docstring at all")
+        def _factory(x: int = 1):
+            return x
+
+        assert registry.get("bare").param_docs == {}
+        assert "x = 1" in registry.describe("bare")

@@ -1,0 +1,380 @@
+"""Tests for the post-paper patterns: reads, mixes, stochastic arrivals,
+phases and trace replay — including seeding determinism across processes."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.lustre import ClientProcess, FifoPolicy, Network, Oss, Ost
+from repro.sim import Environment
+from repro.workloads.patterns import (
+    MixedReadWritePattern,
+    OnOffPattern,
+    PhasedPattern,
+    PoissonArrivalPattern,
+    SequentialReadPattern,
+    SequentialWritePattern,
+    TraceReplayPattern,
+)
+from repro.workloads.trace import TraceRecord
+
+MB = 1 << 20
+
+
+def build(env, capacity_mbps=1000):
+    ost = Ost(env, "ost0", capacity_bps=capacity_mbps * MB)
+    oss = Oss(env, ost, FifoPolicy(env), io_threads=8)
+    net = Network(env, latency_s=0.0)
+    return ost, oss, net
+
+
+def run_pattern(pattern, capacity_mbps=1000, until=None, client_id="c0"):
+    env = Environment()
+    ost, oss, net = build(env, capacity_mbps)
+    client = ClientProcess(env, net, oss, "job", client_id, pattern.program)
+    if until is None:
+        env.run()
+    else:
+        env.run(until=until)
+    return env, client, ost
+
+
+class TestSequentialReadPattern:
+    def test_reads_exact_volume(self):
+        env, client, ost = run_pattern(SequentialReadPattern(10 * MB))
+        assert client.io.bytes_read == 10 * MB
+        assert client.io.bytes_written == 0
+        assert ost.bytes_served == 10 * MB
+
+    def test_start_delay_respected(self):
+        env, client, ost = run_pattern(
+            SequentialReadPattern(10 * MB, start_delay_s=2.0)
+        )
+        assert env.now == pytest.approx(2.01, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SequentialReadPattern(0)
+        with pytest.raises(ValueError):
+            SequentialReadPattern(1, start_delay_s=-1)
+
+    def test_hint(self):
+        assert SequentialReadPattern(5 * MB).total_bytes_hint() == 5 * MB
+
+
+class TestMixedReadWritePattern:
+    def test_exact_split_at_half(self):
+        pattern = MixedReadWritePattern(
+            total_bytes=16 * MB, read_fraction=0.5, chunk_bytes=2 * MB
+        )
+        env, client, ost = run_pattern(pattern)
+        assert client.io.bytes_read == 8 * MB
+        assert client.io.bytes_written == 8 * MB
+        assert ost.bytes_served == 16 * MB
+
+    def test_quarter_read_fraction(self):
+        pattern = MixedReadWritePattern(
+            total_bytes=16 * MB, read_fraction=0.25, chunk_bytes=2 * MB
+        )
+        env, client, ost = run_pattern(pattern)
+        assert client.io.bytes_read == 4 * MB
+
+    def test_all_writes_and_all_reads(self):
+        env, client, _ = run_pattern(
+            MixedReadWritePattern(8 * MB, read_fraction=0.0, chunk_bytes=MB)
+        )
+        assert client.io.bytes_read == 0
+        env, client, _ = run_pattern(
+            MixedReadWritePattern(8 * MB, read_fraction=1.0, chunk_bytes=MB)
+        )
+        assert client.io.bytes_written == 0
+
+    def test_interleave_is_deterministic(self):
+        pattern = MixedReadWritePattern(
+            total_bytes=10 * MB, read_fraction=0.3, chunk_bytes=MB
+        )
+        first = run_pattern(pattern)[1].io.bytes_read
+        second = run_pattern(pattern)[1].io.bytes_read
+        assert first == second == 3 * MB
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(total_bytes=0),
+            dict(total_bytes=1, read_fraction=-0.1),
+            dict(total_bytes=1, read_fraction=1.1),
+            dict(total_bytes=1, chunk_bytes=0),
+            dict(total_bytes=1, start_delay_s=-1),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            MixedReadWritePattern(**kwargs)
+
+
+class TestPoissonArrivalPattern:
+    def test_moves_exact_volume(self):
+        pattern = PoissonArrivalPattern(
+            rate_per_s=50.0, op_bytes=MB, count=20, seed=3
+        )
+        env, client, ost = run_pattern(pattern)
+        assert ost.bytes_served == 20 * MB
+
+    def test_same_seed_same_schedule(self):
+        pattern = PoissonArrivalPattern(
+            rate_per_s=50.0, op_bytes=MB, count=20, seed=3
+        )
+        t1 = run_pattern(pattern)[0].now
+        t2 = run_pattern(pattern)[0].now
+        assert t1 == t2
+
+    def test_different_seeds_differ(self):
+        a = PoissonArrivalPattern(rate_per_s=50.0, op_bytes=MB, count=20, seed=1)
+        b = PoissonArrivalPattern(rate_per_s=50.0, op_bytes=MB, count=20, seed=2)
+        assert run_pattern(a)[0].now != run_pattern(b)[0].now
+
+    def test_clients_get_independent_streams(self):
+        pattern = PoissonArrivalPattern(
+            rate_per_s=50.0, op_bytes=MB, count=20, seed=3
+        )
+        t_c0 = run_pattern(pattern, client_id="c0")[0].now
+        t_c1 = run_pattern(pattern, client_id="c1")[0].now
+        assert t_c0 != t_c1
+
+    def test_read_fraction_produces_reads(self):
+        pattern = PoissonArrivalPattern(
+            rate_per_s=100.0, op_bytes=MB, count=40, read_fraction=0.5, seed=7
+        )
+        env, client, _ = run_pattern(pattern)
+        assert client.io.bytes_read > 0
+        assert client.io.bytes_written > 0
+        assert client.io.bytes_read + client.io.bytes_written == 40 * MB
+
+    def test_mean_gap_tracks_rate(self):
+        pattern = PoissonArrivalPattern(
+            rate_per_s=100.0, op_bytes=MB, count=200, seed=0
+        )
+        env, _, _ = run_pattern(pattern, capacity_mbps=100000)
+        # 200 gaps at mean 10 ms each: the span should be ~2 s give or take
+        # sampling noise (service time is negligible at this capacity).
+        assert env.now == pytest.approx(2.0, rel=0.35)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(rate_per_s=0, op_bytes=1, count=1),
+            dict(rate_per_s=1, op_bytes=0, count=1),
+            dict(rate_per_s=1, op_bytes=1, count=0),
+            dict(rate_per_s=1, op_bytes=1, count=1, read_fraction=2),
+            dict(rate_per_s=1, op_bytes=1, count=1, start_delay_s=-1),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            PoissonArrivalPattern(**kwargs)
+
+
+class TestOnOffPattern:
+    def test_phase_timing(self):
+        pattern = OnOffPattern(
+            on_bytes=10 * MB, on_s=1.0, off_s=1.0, cycles=3
+        )
+        env, client, _ = run_pattern(pattern)
+        # 3 on-phases padded to 1 s each + 2 off-phases = ~5 s.
+        assert env.now == pytest.approx(5.0, abs=0.1)
+        assert client.io.bytes_written == 30 * MB
+
+    def test_overrunning_on_phase_not_truncated(self):
+        # 100 MB at 50 MB/s takes 2 s > on_s=1: the phase stretches.
+        pattern = OnOffPattern(
+            on_bytes=100 * MB, on_s=1.0, off_s=0.5, cycles=2
+        )
+        env, client, _ = run_pattern(pattern, capacity_mbps=50)
+        assert client.io.bytes_written == 200 * MB
+        assert env.now == pytest.approx(4.5, abs=0.2)
+
+    def test_jitter_is_seeded_and_bounded(self):
+        base = dict(on_bytes=MB, on_s=0.1, off_s=1.0, cycles=4, jitter_s=0.5)
+        t1 = run_pattern(OnOffPattern(seed=1, **base))[0].now
+        t2 = run_pattern(OnOffPattern(seed=1, **base))[0].now
+        t3 = run_pattern(OnOffPattern(seed=2, **base))[0].now
+        assert t1 == t2
+        assert t1 != t3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(on_bytes=0, on_s=1, off_s=1, cycles=1),
+            dict(on_bytes=1, on_s=0, off_s=1, cycles=1),
+            dict(on_bytes=1, on_s=1, off_s=-1, cycles=1),
+            dict(on_bytes=1, on_s=1, off_s=1, cycles=0),
+            dict(on_bytes=1, on_s=1, off_s=1, cycles=1, jitter_s=-1),
+            dict(on_bytes=1, on_s=1, off_s=0.5, cycles=1, jitter_s=0.6),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            OnOffPattern(**kwargs)
+
+
+class TestPhasedPattern:
+    def test_runs_phases_in_order(self):
+        pattern = PhasedPattern(
+            phases=(
+                SequentialWritePattern(4 * MB),
+                SequentialReadPattern(2 * MB),
+            ),
+            repeat=2,
+        )
+        env, client, ost = run_pattern(pattern)
+        assert client.io.bytes_written == 8 * MB
+        assert client.io.bytes_read == 4 * MB
+        assert pattern.total_bytes_hint() == 12 * MB
+
+    def test_hint_unknown_if_any_phase_unknown(self):
+        class Open(SequentialWritePattern):
+            def total_bytes_hint(self):
+                return None
+
+        pattern = PhasedPattern(phases=(Open(MB),))
+        assert pattern.total_bytes_hint() is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhasedPattern(phases=())
+        with pytest.raises(ValueError):
+            PhasedPattern(phases=(SequentialWritePattern(MB),), repeat=0)
+        with pytest.raises(ValueError):
+            PhasedPattern(phases=("not a pattern",))
+
+
+class TestTraceReplayPattern:
+    def records(self):
+        return (
+            TraceRecord(0.0, "a", "write", 4 * MB),
+            TraceRecord(1.0, "a", "read", 2 * MB),
+            TraceRecord(2.0, "a", "write", MB),
+        )
+
+    def test_replays_at_offsets(self):
+        pattern = TraceReplayPattern(records=self.records())
+        env, client, ost = run_pattern(pattern)
+        assert env.now == pytest.approx(2.0, abs=0.1)
+        assert client.io.bytes_written == 5 * MB
+        assert client.io.bytes_read == 2 * MB
+
+    def test_time_scale_compresses(self):
+        pattern = TraceReplayPattern(records=self.records(), time_scale=0.5)
+        env, _, _ = run_pattern(pattern)
+        assert env.now == pytest.approx(1.0, abs=0.1)
+
+    def test_data_scale_scales_volumes(self):
+        pattern = TraceReplayPattern(records=self.records(), data_scale=2.0)
+        env, client, _ = run_pattern(pattern)
+        assert client.io.bytes_written == 10 * MB
+
+    def test_backpressure_when_behind_schedule(self):
+        # 100 MB at 50 MB/s takes 2 s; the t=0.5 record waits for it.
+        records = (
+            TraceRecord(0.0, "a", "write", 100 * MB),
+            TraceRecord(0.5, "a", "write", MB),
+        )
+        pattern = TraceReplayPattern(records=records)
+        env, client, _ = run_pattern(pattern, capacity_mbps=50)
+        assert env.now == pytest.approx(2.02, abs=0.1)
+        assert client.io.bytes_written == 101 * MB
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(ValueError):
+            TraceReplayPattern(records=())
+
+    def test_unsorted_records_rejected(self):
+        with pytest.raises(ValueError):
+            TraceReplayPattern(
+                records=(
+                    TraceRecord(1.0, "a", "write", 1),
+                    TraceRecord(0.0, "a", "write", 1),
+                )
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceReplayPattern(records=self.records(), time_scale=0)
+        with pytest.raises(ValueError):
+            TraceReplayPattern(records=self.records(), data_scale=0)
+
+
+def _completion_time_in_subprocess(seed: int) -> float:
+    """Worker entry point: run a seeded pattern in a fresh process."""
+    pattern = PoissonArrivalPattern(
+        rate_per_s=50.0, op_bytes=MB, count=15, seed=seed
+    )
+    env = Environment()
+    ost = Ost(env, "ost0", capacity_bps=1000 * MB)
+    oss = Oss(env, ost, FifoPolicy(env), io_threads=8)
+    net = Network(env, latency_s=0.0)
+    ClientProcess(env, net, oss, "job", "c0", pattern.program)
+    env.run()
+    return env.now
+
+
+class TestStreamSequencing:
+    def io_handle(self):
+        from repro.lustre.client import IoHandle
+
+        env = Environment()
+        ost, oss, net = build(env)
+        return IoHandle(env, net, oss, "job", "c0")
+
+    def test_each_invocation_draws_a_fresh_stream(self):
+        """Repeated phases of one pattern must not replay identical draws."""
+        pattern = PoissonArrivalPattern(
+            rate_per_s=1.0, op_bytes=MB, count=1, seed=0
+        )
+        io = self.io_handle()
+        first = pattern.stream(io, "poisson").random(4).tolist()
+        second = pattern.stream(io, "poisson").random(4).tolist()
+        assert first != second
+
+    def test_sequence_is_deterministic_across_handles(self):
+        pattern = PoissonArrivalPattern(
+            rate_per_s=1.0, op_bytes=MB, count=1, seed=0
+        )
+
+        def draws():
+            io = self.io_handle()
+            return [
+                pattern.stream(io, "poisson").random(2).tolist()
+                for _ in range(3)
+            ]
+
+        assert draws() == draws()
+
+    def test_phased_repeat_cycles_differ(self):
+        """A diurnal day-2 is not a bit-identical replay of day-1."""
+        poisson = PoissonArrivalPattern(
+            rate_per_s=50.0, op_bytes=MB, count=10, seed=5
+        )
+        single = run_pattern(poisson)[0].now
+        repeated = run_pattern(PhasedPattern(phases=(poisson,), repeat=2))[0].now
+        assert repeated != pytest.approx(2 * single, abs=1e-9)
+
+
+class TestSeedingAcrossProcesses:
+    def test_draws_identical_in_worker_process(self):
+        """The same seeded pattern replays bit-identically in a separate
+        OS process (RngStreams derives seeds by BLAKE2b, not hash())."""
+        local = _completion_time_in_subprocess(42)
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            remote = pool.submit(_completion_time_in_subprocess, 42).result()
+        assert local == remote
+
+    def test_pattern_survives_pickle(self):
+        import pickle
+
+        pattern = PoissonArrivalPattern(
+            rate_per_s=5.0, op_bytes=MB, count=3, seed=9
+        )
+        clone = pickle.loads(pickle.dumps(pattern))
+        assert clone == pattern
+        assert hash(clone) == hash(pattern)

@@ -1,0 +1,178 @@
+"""Trace loading/validation: formats, edge cases, grouping."""
+
+import json
+
+import pytest
+
+from repro.workloads.trace import (
+    EXAMPLE_TRACE,
+    TraceFormatError,
+    TraceRecord,
+    load_trace,
+    records_by_job,
+    validate_trace,
+)
+
+HEADER = "t_offset_s,job,op,nbytes\n"
+
+
+def write_csv(tmp_path, body, name="trace.csv"):
+    path = tmp_path / name
+    path.write_text(HEADER + body)
+    return path
+
+
+class TestTraceRecord:
+    def test_valid_record(self):
+        record = TraceRecord(t_offset_s=1.5, job="a", op="read", nbytes=4096)
+        assert record.op == "read"
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError, match="t_offset_s"):
+            TraceRecord(t_offset_s=-0.1, job="a", op="write", nbytes=1)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="op must be"):
+            TraceRecord(t_offset_s=0.0, job="a", op="append", nbytes=1)
+
+    def test_zero_byte_op_rejected(self):
+        with pytest.raises(ValueError, match="nbytes"):
+            TraceRecord(t_offset_s=0.0, job="a", op="write", nbytes=0)
+
+    def test_empty_job_rejected(self):
+        with pytest.raises(ValueError, match="job"):
+            TraceRecord(t_offset_s=0.0, job="", op="write", nbytes=1)
+
+
+class TestLoadCsv:
+    def test_loads_and_orders(self, tmp_path):
+        path = write_csv(tmp_path, "0.0,a,write,100\n1.0,b,read,200\n")
+        records = load_trace(path)
+        assert len(records) == 2
+        assert records[1] == TraceRecord(1.0, "b", "read", 200)
+
+    def test_empty_trace_rejected(self, tmp_path):
+        path = write_csv(tmp_path, "")
+        with pytest.raises(TraceFormatError, match="empty"):
+            load_trace(path)
+
+    def test_headerless_file_rejected(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("0.0,a,write,100\n")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_unsorted_timestamps_rejected(self, tmp_path):
+        path = write_csv(tmp_path, "1.0,a,write,100\n0.5,a,write,100\n")
+        with pytest.raises(TraceFormatError, match="back in time"):
+            load_trace(path)
+
+    def test_unsorted_timestamps_sortable(self, tmp_path):
+        path = write_csv(tmp_path, "1.0,a,write,100\n0.5,b,write,100\n")
+        records = load_trace(path, sort=True)
+        assert [r.t_offset_s for r in records] == [0.5, 1.0]
+
+    def test_zero_byte_op_rejected(self, tmp_path):
+        path = write_csv(tmp_path, "0.0,a,write,0\n")
+        with pytest.raises(TraceFormatError, match="nbytes"):
+            load_trace(path)
+
+    def test_unknown_op_rejected_with_location(self, tmp_path):
+        path = write_csv(tmp_path, "0.0,a,write,1\n0.1,a,truncate,1\n")
+        with pytest.raises(TraceFormatError, match=r":3"):
+            load_trace(path)
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("t_offset_s,job,op\n0.0,a,write\n")
+        with pytest.raises(TraceFormatError, match="missing"):
+            load_trace(path)
+
+    def test_unknown_column_rejected(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("t_offset_s,job,op,nbytes,extra\n0.0,a,write,1,x\n")
+        with pytest.raises(TraceFormatError, match="unknown column"):
+            load_trace(path)
+
+    def test_ops_case_insensitive(self, tmp_path):
+        path = write_csv(tmp_path, "0.0,a,WRITE,1\n0.1,a,Read,1\n")
+        records = load_trace(path)
+        assert [r.op for r in records] == ["write", "read"]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="not found"):
+            load_trace(tmp_path / "nope.csv")
+
+    def test_unsupported_extension(self, tmp_path):
+        path = tmp_path / "trace.parquet"
+        path.write_text("x")
+        with pytest.raises(TraceFormatError, match="unsupported"):
+            load_trace(path)
+
+
+class TestLoadJsonl:
+    def test_loads(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        rows = [
+            {"t_offset_s": 0.0, "job": "a", "op": "write", "nbytes": 100},
+            {"t_offset_s": 0.5, "job": "b", "op": "read", "nbytes": 50},
+        ]
+        path.write_text("\n".join(json.dumps(r) for r in rows) + "\n")
+        records = load_trace(path)
+        assert records == (
+            TraceRecord(0.0, "a", "write", 100),
+            TraceRecord(0.5, "b", "read", 50),
+        )
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"t_offset_s": 0, "job": "a", "op": "write", "nbytes": 1}\n\n'
+        )
+        assert len(load_trace(path)) == 1
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(TraceFormatError, match="invalid JSON"):
+            load_trace(path)
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(TraceFormatError, match="object"):
+            load_trace(path)
+
+
+class TestValidateTrace:
+    def test_empty_rejected(self):
+        with pytest.raises(TraceFormatError, match="empty"):
+            validate_trace(())
+
+    def test_equal_timestamps_allowed(self):
+        records = (
+            TraceRecord(1.0, "a", "write", 1),
+            TraceRecord(1.0, "b", "write", 1),
+        )
+        validate_trace(records)  # does not raise
+
+
+class TestRecordsByJob:
+    def test_groups_preserving_order(self):
+        records = (
+            TraceRecord(0.0, "a", "write", 1),
+            TraceRecord(0.5, "b", "read", 2),
+            TraceRecord(1.0, "a", "write", 3),
+        )
+        grouped = records_by_job(records)
+        assert set(grouped) == {"a", "b"}
+        assert [r.nbytes for r in grouped["a"]] == [1, 3]
+
+
+class TestBundledTrace:
+    def test_example_trace_loads(self):
+        records = load_trace(EXAMPLE_TRACE)
+        assert len(records) >= 10
+        jobs = set(records_by_job(records))
+        assert jobs == {"ingest", "analysis", "checkpoint"}
+        assert any(r.op == "read" for r in records)
