@@ -3,8 +3,12 @@
 This is the primitive underneath each TBF queue (paper §II-A): tokens accrue
 at ``rate`` tokens/second up to ``depth`` tokens; serving one RPC consumes one
 token; excess accrual beyond the depth is discarded, which is what bounds
-bursts.  The bucket is *lazy* — token state is only materialised when
-observed, so it costs nothing between events.
+bursts.  The bucket is *lazy O(1) accrual* — token state is materialised from
+``rate × elapsed`` only when observed (at dequeue time, in practice), so it
+costs nothing between events and there is no per-tick replenishment loop.
+``ready_at``/``try_consume`` are called once per scheduler poll, so both
+inline the accrual arithmetic instead of delegating to :meth:`tokens_at`
+(same expressions, so the float results are bit-identical).
 """
 
 from __future__ import annotations
@@ -79,7 +83,9 @@ class TokenBucket:
         if n > self.depth + _EPS:
             # The bucket can never simultaneously hold this many tokens.
             return math.inf
-        have = self.tokens_at(now)
+        if now < self._last:
+            raise ValueError(f"time went backwards: {now} < {self._last}")
+        have = min(self.depth, self._tokens + self._rate * (now - self._last))
         if have + _EPS >= n:
             return now
         if self._rate == 0.0:
@@ -95,10 +101,14 @@ class TokenBucket:
         """Consume ``n`` tokens if available at ``now``; report success."""
         if n <= 0:
             raise ValueError(f"n must be positive, got {n}")
-        self._sync(now)
-        if self._tokens + _EPS >= n:
-            self._tokens = max(0.0, self._tokens - n)
+        if now < self._last:
+            raise ValueError(f"time went backwards: {now} < {self._last}")
+        tokens = min(self.depth, self._tokens + self._rate * (now - self._last))
+        self._last = now
+        if tokens + _EPS >= n:
+            self._tokens = max(0.0, tokens - n)
             return True
+        self._tokens = tokens
         return False
 
     def set_rate(self, now: float, rate: float) -> None:

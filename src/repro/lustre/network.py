@@ -40,6 +40,12 @@ class Network:
         self.env = env
         self.latency_s = float(latency_s)
         self._rpcs_carried = 0
+        # Hop callbacks are shared bound methods; the RPC rides along as the
+        # hop event's value, so the per-RPC closure allocations of the naive
+        # formulation disappear from this hot path.
+        self._deliver_cb = self._deliver
+        self._reply_cb = self._reply
+        self._finish_cb = self._finish
 
     def submit(self, rpc: Rpc, oss: Oss) -> Event:
         """Send ``rpc`` to ``oss``; returns the event the client awaits.
@@ -50,27 +56,34 @@ class Network:
         env = self.env
         rpc.submitted = env.now
         rpc.completion = Event(env)
+        rpc.client_done = client_done = Event(env)
+        rpc.target_oss = oss
         self._rpcs_carried += 1
 
-        client_done = Event(env)
-
-        def deliver(_e) -> None:
-            oss.receive(rpc)
-
-        def reply(_e) -> None:
-            if self.latency_s:
-                env.timeout(self.latency_s).add_callback(
-                    lambda _t: client_done.succeed(rpc)
-                )
-            else:
-                client_done.succeed(rpc)
-
         if self.latency_s:
-            env.timeout(self.latency_s).add_callback(deliver)
+            env.timeout(self.latency_s, rpc).callbacks.append(self._deliver_cb)
         else:
-            deliver(None)
-        rpc.completion.add_callback(reply)
+            oss.receive(rpc)
+        rpc.completion.callbacks.append(self._reply_cb)
         return client_done
+
+    # -- hop callbacks (event value = the RPC in flight) ---------------------
+    def _deliver(self, event: Event) -> None:
+        rpc = event._value
+        rpc.target_oss.receive(rpc)
+
+    def _reply(self, event: Event) -> None:
+        rpc = event._value
+        if self.latency_s:
+            self.env.timeout(self.latency_s, rpc).callbacks.append(
+                self._finish_cb
+            )
+        else:
+            rpc.client_done.succeed(rpc)
+
+    def _finish(self, event: Event) -> None:
+        rpc = event._value
+        rpc.client_done.succeed(rpc)
 
     @property
     def rpcs_carried(self) -> int:

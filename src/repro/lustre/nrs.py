@@ -11,6 +11,8 @@ The NRS sits between RPC arrival at the OSS and service by I/O threads
 
 Policies expose a small pull interface to the OSS thread pool: ``dequeue``
 returns a ready RPC or ``None``; ``next_wake`` says when to re-poll;
+``poll`` fuses the two into one pass (the hot path — an idle OSS thread
+would otherwise walk the scheduler's deadline heap twice per cycle);
 ``wait_arrival`` hands out a broadcast event so idle threads learn about new
 work immediately.
 """
@@ -20,7 +22,7 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from collections import deque
-from typing import TYPE_CHECKING, Deque, Optional
+from typing import TYPE_CHECKING, Deque, Optional, Tuple
 
 from repro.lustre.rpc import Rpc
 from repro.lustre.tbf import TbfRule, TbfScheduler
@@ -61,6 +63,19 @@ class NrsPolicy(ABC):
     def next_wake(self) -> float:
         """Absolute time when a dequeue may next succeed (``inf`` = never)."""
 
+    def poll(self) -> Tuple[Optional[Rpc], float]:
+        """Fused ``(dequeue(), next_wake())`` in one pass.
+
+        Returns ``(rpc, _)`` when an RPC is serviceable and ``(None, wake)``
+        otherwise; the wake time is only meaningful in the second form.
+        Policies with a shared scan (TBF's deadline heap) override this to
+        avoid walking their structures twice per idle thread cycle.
+        """
+        rpc = self.dequeue()
+        if rpc is not None:
+            return rpc, self.env.now
+        return None, self.next_wake()
+
     @property
     @abstractmethod
     def pending(self) -> int:
@@ -90,6 +105,12 @@ class FifoPolicy(NrsPolicy):
     def next_wake(self) -> float:
         # FIFO is ready iff non-empty; emptiness only changes on arrival.
         return math.inf
+
+    def poll(self) -> Tuple[Optional[Rpc], float]:
+        queue = self._queue
+        if queue:
+            return queue.popleft(), self.env.now
+        return None, math.inf
 
     @property
     def pending(self) -> int:
@@ -144,6 +165,9 @@ class TbfPolicy(NrsPolicy):
 
     def next_wake(self) -> float:
         return self.scheduler.next_wake(self.env.now)
+
+    def poll(self) -> Tuple[Optional[Rpc], float]:
+        return self.scheduler.poll(self.env.now)
 
     @property
     def pending(self) -> int:

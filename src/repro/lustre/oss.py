@@ -8,6 +8,13 @@ bandwidth.  This reproduces the work-conservation semantics the paper
 analyses: under TBF, threads *can* sit idle while RPCs wait for tokens (the
 non-work-conserving behaviour AdapTBF fixes), while the fallback queue keeps
 unmatched jobs from starving.
+
+The idle wait is the OSS's hot path (roughly one idle cycle per served RPC),
+so it uses the engine's lean primitives: one fused :meth:`NrsPolicy.poll`
+call instead of separate ``dequeue``/``next_wake`` heap walks, a
+:class:`~repro.sim.events.FirstOf` race instead of a full ``AnyOf``, and
+lazy cancellation of the losing deadline timer so stale wakeups never
+dispatch.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from repro.lustre.jobstats import JobStatsTracker
 from repro.lustre.nrs import NrsPolicy
 from repro.lustre.ost import Ost
 from repro.lustre.rpc import Rpc
+from repro.sim.events import FirstOf
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Environment
@@ -88,26 +96,36 @@ class Oss:
     # -- the I/O thread ----------------------------------------------------------
     def _thread_loop(self):
         env = self.env
+        policy = self.policy
+        poll = policy.poll
+        transfer = self.ost.transfer
+        record_completion = self.jobstats.record_completion
+        inf = float("inf")
         while True:
-            rpc: Optional[Rpc] = self.policy.dequeue()
+            rpc: Optional[Rpc]
+            rpc, wake = poll()
             if rpc is not None:
                 rpc.dequeued = env.now
                 if self.rpc_overhead_s:
                     yield env.timeout(self.rpc_overhead_s)
-                yield self.ost.transfer(rpc.size_bytes)
+                yield transfer(rpc.size_bytes)
                 rpc.completed = env.now
                 self._completed_rpcs += 1
-                self.jobstats.record_completion(rpc)
+                record_completion(rpc)
                 for callback in self._on_complete:
                     callback(rpc)
                 if rpc.completion is not None:
                     rpc.completion.succeed(rpc)
                 continue
 
-            wake = self.policy.next_wake()
-            arrival = self.policy.wait_arrival()
-            if wake == float("inf"):
+            arrival = policy.wait_arrival()
+            if wake == inf:
                 yield arrival
             else:
-                delay = max(0.0, wake - env.now)
-                yield env.any_of([env.timeout(delay), arrival])
+                delay = wake - env.now
+                timer = env.timeout(delay if delay > 0.0 else 0.0)
+                yield FirstOf(env, (timer, arrival))
+                if timer.callbacks is not None:
+                    # The arrival won the race: retire the deadline timer
+                    # lazily instead of letting it dispatch as a no-op.
+                    timer.cancel()

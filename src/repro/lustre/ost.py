@@ -7,9 +7,10 @@ experiments depend on — aggregate service rate equals ``capacity_bps``
 whenever any work is queued, regardless of concurrency.
 
 The implementation is event-driven: transfer completions are pre-computed and
-re-computed whenever the set of active transfers changes.  Because the sim
-engine has no event cancellation, each re-computation bumps an *epoch*
-counter and stale completion checks simply no-op.
+re-computed whenever the set of active transfers changes.  Each
+re-computation lazily cancels the previous completion-check timer
+(:meth:`~repro.sim.events.Event.cancel`), so superseded checks are skipped by
+the engine instead of dispatching as no-ops.
 """
 
 from __future__ import annotations
@@ -18,7 +19,7 @@ import itertools
 import math
 from typing import TYPE_CHECKING, Dict, Optional
 
-from repro.sim.events import Event
+from repro.sim.events import Event, Timeout
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Environment
@@ -58,7 +59,8 @@ class Ost:
         self._done_events: Dict[int, Event] = {}
         self._ids = itertools.count()
         self._last = env.now
-        self._epoch = 0
+        self._check_timer: Optional[Timeout] = None
+        self._on_check_cb = self._on_check  # cache the bound method
         self._bytes_served = 0.0
 
     # -- public API ---------------------------------------------------------
@@ -124,19 +126,26 @@ class Ost:
             self._remaining[tid] -= share
 
     def _reschedule(self) -> None:
-        """Schedule a completion check for the next transfer to finish."""
-        self._epoch += 1
+        """Schedule a completion check for the next transfer to finish.
+
+        The previous pending check (if any) is lazily cancelled: the engine
+        skips it when its heap entry surfaces, so superseded checks cost
+        nothing to dispatch.
+        """
+        stale = self._check_timer
+        if stale is not None and stale.callbacks is not None:
+            stale.cancel()
         if not self._remaining:
+            self._check_timer = None
             return
         min_left = min(self._remaining.values())
         per_flow = self.capacity_bps / len(self._remaining)
         delay = max(0.0, min_left) / per_flow
-        epoch = self._epoch
-        self.env.timeout(delay).add_callback(lambda _e: self._on_check(epoch))
+        timer = self.env.timeout(delay)
+        timer.callbacks.append(self._on_check_cb)
+        self._check_timer = timer
 
-    def _on_check(self, epoch: int) -> None:
-        if epoch != self._epoch:
-            return  # superseded by a later add/complete
+    def _on_check(self, _event: Event) -> None:
         now = self.env.now
         self._advance(now)
         finished = [

@@ -67,6 +67,14 @@ class Rpc:
     #: Event the client waits on; succeeds with the RPC once serviced.
     completion: Optional["Event"] = None
 
+    #: Client-side event that fires one reply latency after ``completion``
+    #: (set by the network; lets hop callbacks be shared bound methods
+    #: instead of per-RPC closures).
+    client_done: Optional["Event"] = None
+
+    #: Serving OSS, set at submit time (the stripe layout's choice).
+    target_oss: Optional[object] = None
+
     #: True when the RPC was served from the fallback queue (no token).
     via_fallback: bool = False
 

@@ -4,13 +4,21 @@ Implements the mechanism of paper §II-A / Fig. 1:
 
 * **Rules** map a JobID to a token rate; they form an ordered set that can be
   started, stopped and re-rated at runtime (`nrs_tbf_rule` in real Lustre).
+  Rule matching is a precomputed exact-match dict (JobID → queue), so
+  classification at enqueue time is a single O(1) lookup — no rule-list scan.
 * **Queues** hold the RPCs of one rule, drained FCFS; each queue owns a
   :class:`~repro.lustre.bucket.TokenBucket` and is only eligible for dequeue
-  when a token is available.
+  when a token is available.  Token accounting is *lazy O(1) accrual*: the
+  bucket materialises its level from ``rate × elapsed`` only when observed
+  at dequeue time — there is no per-tick replenishment loop anywhere.
 * A **deadline heap** orders queues by the time their next token matures, so
   the scheduler always serves the queue with the nearest deadline; equal
   deadlines are broken by rule *rank* (the paper's rule hierarchy — higher
-  priority jobs first).
+  priority jobs first).  Heap entries are immutable bare tuples invalidated
+  lazily through per-queue version counters (rate changes and rule stops
+  bump the version; stale entries are skipped when they surface) or
+  re-filed at the bucket's actual ready time when their deadline has lapsed
+  — the heap itself is never rebuilt or rescanned.
 * RPCs that match no rule land in the **fallback queue**, served
   opportunistically (no token limit) whenever no token-backed queue is ready
   — exactly the starvation-avoidance property §III-D relies on when the Rule
@@ -18,6 +26,11 @@ Implements the mechanism of paper §II-A / Fig. 1:
 
 Stopping a rule re-files its queued RPCs into the fallback queue (preserving
 FIFO order), so no request is ever lost to rule churn.
+
+``poll`` is the OSS thread pool's hot path: one heap walk that either hands
+out a serviceable RPC or reports the next wake deadline.  Occupancy counters
+(total pending, per-job fallback depth) are maintained incrementally so the
+introspection surface the controllers sample stays O(1) per call.
 """
 
 from __future__ import annotations
@@ -94,13 +107,17 @@ class TbfScheduler:
 
     def __init__(self) -> None:
         self._rules: Dict[str, TbfRule] = {}  # by rule name
-        self._by_job: Dict[str, _TbfQueue] = {}  # by job id
+        self._by_job: Dict[str, _TbfQueue] = {}  # by job id (rule-match lookup)
         self._fallback: Deque[Rpc] = deque()
         # Heap of (deadline, rank, seq, job_id, version).
         self._heap: List[Tuple[float, int, int, str, int]] = []
         self._seq = itertools.count()
         self._served_with_token = 0
         self._served_fallback = 0
+        # Incrementally-maintained occupancy, so `pending` and
+        # `pending_for_job` are O(1) instead of rescanning queues.
+        self._pending_total = 0
+        self._fallback_counts: Dict[str, int] = {}
 
     # -- rule management (the Rule Management Daemon's surface) -------------
     def start_rule(self, now: float, rule: TbfRule) -> None:
@@ -130,8 +147,11 @@ class TbfScheduler:
         queue = self._by_job.pop(rule.job_id)
         queue.version += 1  # invalidate heap entries
         moved = len(queue.items)
-        self._fallback.extend(queue.items)
-        queue.items.clear()
+        if moved:
+            self._fallback.extend(queue.items)
+            counts = self._fallback_counts
+            counts[rule.job_id] = counts.get(rule.job_id, 0) + moved
+            queue.items.clear()
         return moved
 
     def change_rate(
@@ -140,7 +160,9 @@ class TbfScheduler:
         """Re-rate (and optionally re-rank) an existing rule in place.
 
         Accrued tokens survive the change; only the slope is updated, which
-        is how Lustre applies ``rate=`` changes to live rules.
+        is how Lustre applies ``rate=`` changes to live rules.  Re-pushing
+        bumps the queue's version, so any heap entry computed under the old
+        rate is invalidated lazily.
         """
         rule = self._rules.get(name)
         if rule is None:
@@ -167,14 +189,59 @@ class TbfScheduler:
 
     # -- request path -----------------------------------------------------------
     def enqueue(self, now: float, rpc: Rpc) -> None:
-        """Classify and queue an arriving RPC."""
+        """Classify and queue an arriving RPC (one dict lookup)."""
+        self._pending_total += 1
         queue = self._by_job.get(rpc.job_id)
         if queue is None:
             self._fallback.append(rpc)
+            counts = self._fallback_counts
+            counts[rpc.job_id] = counts.get(rpc.job_id, 0) + 1
             return
         queue.items.append(rpc)
         if len(queue.items) == 1:
             self._push(now, rpc.job_id, queue)
+
+    def poll(self, now: float) -> Tuple[Optional[Rpc], float]:
+        """One heap walk: the next serviceable RPC, or the next wake time.
+
+        Returns ``(rpc, now)`` when a queue's token has matured or the
+        fallback queue has work; ``(None, wake)`` otherwise, where ``wake``
+        is the earliest future time a dequeue could succeed (``inf`` if
+        never).  This fuses :meth:`dequeue` and :meth:`next_wake` so an idle
+        OSS thread pays for one walk per cycle instead of two; the service
+        decision is identical to ``dequeue``'s.
+        """
+        top = self._live_top(now)
+        if top is not None:
+            job_id, queue, ready = top
+            if ready <= now:
+                heapq.heappop(self._heap)
+                consumed = queue.bucket.try_consume(now)
+                assert consumed, "deadline matured but token missing"
+                rpc = queue.items.popleft()
+                if queue.items:
+                    self._push(now, job_id, queue)
+                self._served_with_token += 1
+                self._pending_total -= 1
+                return rpc, now
+            # Nearest token deadline is in the future.
+            if not self._fallback:
+                return None, max(ready, now)
+
+        if self._fallback:
+            self._served_fallback += 1
+            self._pending_total -= 1
+            rpc = self._fallback.popleft()
+            counts = self._fallback_counts
+            left = counts[rpc.job_id] - 1
+            if left:
+                counts[rpc.job_id] = left
+            else:
+                del counts[rpc.job_id]
+            rpc.via_fallback = True
+            return rpc, now
+
+        return None, math.inf
 
     def dequeue(self, now: float) -> Optional[Rpc]:
         """Return the next serviceable RPC at ``now``, or None.
@@ -183,37 +250,8 @@ class TbfScheduler:
         then rank); otherwise the fallback queue is served opportunistically;
         otherwise nothing is ready.
         """
-        while self._heap:
-            deadline, _rank, _seq, job_id, version = self._heap[0]
-            queue = self._by_job.get(job_id)
-            if queue is None or version != queue.version or not queue.items:
-                heapq.heappop(self._heap)  # stale entry
-                continue
-            # Refresh the deadline: the bucket may have been re-rated since
-            # this entry was pushed (same version ⇒ entry's deadline is
-            # current, but recomputing is cheap and defensive).
-            actual = queue.bucket.ready_at(now)
-            if actual > deadline + 1e-12:
-                heapq.heappop(self._heap)
-                self._push(now, job_id, queue, deadline=actual)
-                continue
-            if actual <= now:
-                heapq.heappop(self._heap)
-                consumed = queue.bucket.try_consume(now)
-                assert consumed, "deadline matured but token missing"
-                rpc = queue.items.popleft()
-                if queue.items:
-                    self._push(now, job_id, queue)
-                self._served_with_token += 1
-                return rpc
-            break  # nearest deadline is in the future
-
-        if self._fallback:
-            self._served_fallback += 1
-            rpc = self._fallback.popleft()
-            rpc.via_fallback = True
-            return rpc
-        return None
+        rpc, _wake = self.poll(now)
+        return rpc
 
     def next_wake(self, now: float) -> float:
         """Earliest future time a dequeue could succeed; ``inf`` if never.
@@ -221,31 +259,51 @@ class TbfScheduler:
         Only meaningful after :meth:`dequeue` returned None (i.e. no queue is
         currently ready and the fallback queue is empty).
         """
-        while self._heap:
-            deadline, _rank, _seq, job_id, version = self._heap[0]
-            queue = self._by_job.get(job_id)
+        top = self._live_top(now)
+        if top is None:
+            return math.inf
+        return max(top[2], now)
+
+    def _live_top(self, now: float) -> Optional[Tuple[str, _TbfQueue, float]]:
+        """Resolve the deadline heap's top to a live, trustworthy entry.
+
+        Pops stale entries (version mismatch, empty or vanished queue) and
+        re-files entries whose deadline has lapsed — the queue matured in
+        the past, or the bucket moved under the entry — at the bucket's
+        actual ready time.  Re-filing matured queues at ``now`` is what lets
+        *rank* break the tie between several queues whose tokens are all
+        available (the paper's rule hierarchy).
+
+        Returns ``(job_id, queue, ready)`` for the winning entry, or None
+        when the heap is exhausted.  The entry itself is left on the heap.
+        """
+        heap = self._heap
+        by_job = self._by_job
+        while heap:
+            deadline, _rank, _seq, job_id, version = heap[0]
+            queue = by_job.get(job_id)
             if queue is None or version != queue.version or not queue.items:
-                heapq.heappop(self._heap)
+                heapq.heappop(heap)  # stale entry
                 continue
-            actual = queue.bucket.ready_at(now)
-            if actual > deadline + 1e-12:
-                heapq.heappop(self._heap)
-                self._push(now, job_id, queue, deadline=actual)
+            ready = queue.bucket.ready_at(now)
+            if ready > deadline + 1e-12:
+                heapq.heappop(heap)
+                self._push(now, job_id, queue, deadline=ready)
                 continue
-            return max(actual, now)
-        return math.inf
+            return job_id, queue, ready
+        return None
 
     # -- introspection ----------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Total RPCs currently queued (all rule queues + fallback)."""
-        return sum(len(q.items) for q in self._by_job.values()) + len(self._fallback)
+        """Total RPCs currently queued (all rule queues + fallback); O(1)."""
+        return self._pending_total
 
     def pending_for_job(self, job_id: str) -> int:
+        """Queued RPCs of one job (rule queue + fallback); O(1)."""
         queue = self._by_job.get(job_id)
         in_rule = len(queue.items) if queue else 0
-        in_fallback = sum(1 for r in self._fallback if r.job_id == job_id)
-        return in_rule + in_fallback
+        return in_rule + self._fallback_counts.get(job_id, 0)
 
     @property
     def fallback_depth(self) -> int:

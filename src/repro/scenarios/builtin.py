@@ -351,6 +351,186 @@ def _hetero_osts(
 
 
 @REGISTRY.register(
+    "scale-500ost",
+    description="NEW: scale stress — hundreds of OSTs, one controller each",
+)
+def _scale_500ost(
+    n_osts: int = 500,
+    capacity_mib_s: float = 64.0,
+    stripe_count: int = 8,
+    io_threads: int = 4,
+    procs: int = 64,
+    file_mib: float = 64.0,
+    science_nodes: int = 4,
+    window: int = 4,
+    mechanism: str = "adaptbf",
+    interval_s: float = 0.1,
+    duration: float = 1.0,
+) -> ScenarioSpec:
+    """Decentralization at cluster scale: 500 independent per-OST controllers.
+
+    The regime the control-theoretic storage-congestion comparisons evaluate
+    at (hundreds of targets, thousands of concurrent streams) and the
+    benchmark-regression harness's large grid cells exercise.  Two jobs
+    stripe wide across every OST, so each OST runs the full NRS/TBF +
+    controller stack concurrently.
+
+    Parameters
+    ----------
+    n_osts:
+        Number of (OSS, OST) pairs, each with an independent controller.
+    capacity_mib_s:
+        Per-OST bandwidth in MiB/s (small: aggregate stays realistic).
+    stripe_count:
+        OSTs per file; wide striping spreads every job over many OSTs.
+    io_threads:
+        OSS I/O threads per OST (reduced from 16: at 500 OSTs the thread
+        pool itself would dominate the process count).
+    procs:
+        Processes per job.
+    file_mib:
+        Volume each process writes, in MiB.
+    science_nodes:
+        Node count (priority weight) of the science job; the hog has 1.
+    window:
+        RPCs in flight per process.
+    mechanism:
+        Bandwidth mechanism under test (registry name).
+    interval_s:
+        Controller observation period.
+    duration:
+        Simulated-duration cap in seconds.
+    """
+    jobs = (
+        JobSpec(
+            job_id="science",
+            nodes=science_nodes,
+            processes=tuple(
+                ProcessSpec(
+                    SequentialWritePattern(int(file_mib * MIB)), window=window
+                )
+                for _ in range(procs)
+            ),
+        ),
+        JobSpec(
+            job_id="hog",
+            nodes=1,
+            processes=tuple(
+                ProcessSpec(
+                    SequentialWritePattern(int(file_mib * MIB)), window=window
+                )
+                for _ in range(procs)
+            ),
+        ),
+    )
+    return ScenarioSpec(
+        name="scale-500ost",
+        jobs=jobs,
+        topology=TopologySpec(
+            n_osts=n_osts,
+            capacity_mib_s=capacity_mib_s,
+            stripe_count=stripe_count,
+            io_threads=io_threads,
+        ),
+        policy=PolicySpec(mechanism=mechanism, interval_s=interval_s),
+        run=RunSpec(duration_s=duration or None),
+        description=(
+            f"{n_osts} OSTs × {capacity_mib_s:g} MiB/s, "
+            f"{2 * procs} clients striped {stripe_count}-wide, "
+            "one controller per OST"
+        ),
+    )
+
+
+@REGISTRY.register(
+    "client-swarm",
+    description="NEW: scale stress — thousands of client processes on few OSTs",
+)
+def _client_swarm(
+    n_clients: int = 1000,
+    n_jobs: int = 8,
+    n_osts: int = 4,
+    stripe_count: int = 1,
+    op_mib: float = 4.0,
+    window: int = 4,
+    capacity_mib_s: float = 1024.0,
+    io_threads: int = 16,
+    mechanism: str = "adaptbf",
+    interval_s: float = 0.1,
+    duration: float = 2.0,
+) -> ScenarioSpec:
+    """Client-count stress: a swarm of processes contending for few OSTs.
+
+    The inverse of ``scale-500ost`` — the event heap carries thousands of
+    concurrent client windows while a handful of controllers arbitrate.
+    Job node counts cycle 1/2/4/8, so the swarm still has a priority
+    hierarchy for the mechanism to enforce.
+
+    Parameters
+    ----------
+    n_clients:
+        Total client processes, split as evenly as possible over the jobs.
+    n_jobs:
+        Number of jobs (TBF rules) the swarm is partitioned into.
+    n_osts:
+        Number of (OSS, OST) pairs.
+    stripe_count:
+        OSTs per file.
+    op_mib:
+        Volume each process writes, in MiB.
+    window:
+        RPCs in flight per process.
+    capacity_mib_s:
+        Per-OST bandwidth in MiB/s.
+    io_threads:
+        OSS I/O threads per OST.
+    mechanism:
+        Bandwidth mechanism under test (registry name).
+    interval_s:
+        Controller observation period.
+    duration:
+        Simulated-duration cap in seconds.
+    """
+    if n_clients <= 0:
+        raise ValueError("n_clients must be positive")
+    if n_jobs <= 0:
+        raise ValueError("n_jobs must be positive")
+    n_jobs = min(n_jobs, n_clients)
+    base, extra = divmod(n_clients, n_jobs)
+    jobs = []
+    for index in range(n_jobs):
+        procs = base + (1 if index < extra else 0)
+        jobs.append(
+            JobSpec(
+                job_id=f"swarm{index + 1}",
+                nodes=2 ** (index % 4),  # 1/2/4/8-node priority tiers
+                processes=tuple(
+                    ProcessSpec(
+                        SequentialWritePattern(int(op_mib * MIB)), window=window
+                    )
+                    for _ in range(procs)
+                ),
+            )
+        )
+    return ScenarioSpec(
+        name="client-swarm",
+        jobs=tuple(jobs),
+        topology=TopologySpec(
+            n_osts=n_osts,
+            capacity_mib_s=capacity_mib_s,
+            stripe_count=stripe_count,
+            io_threads=io_threads,
+        ),
+        policy=PolicySpec(mechanism=mechanism, interval_s=interval_s),
+        run=RunSpec(duration_s=duration or None),
+        description=(
+            f"{n_clients} client processes in {n_jobs} jobs vs "
+            f"{n_osts} OST(s) at {capacity_mib_s:g} MiB/s"
+        ),
+    )
+
+
+@REGISTRY.register(
     "trace-replay",
     description="NEW: replay a recorded I/O trace, one job per trace job",
 )

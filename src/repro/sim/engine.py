@@ -1,20 +1,46 @@
 """The discrete-event simulation core.
 
 :class:`Environment` owns the virtual clock and the event heap.  Time only
-advances when :meth:`Environment.step` pops the next scheduled event; between
-events the simulated world is frozen, which is what lets us reproduce the
-paper's 100 ms control loop with perfect determinism.
+advances when the engine pops the next scheduled event; between events the
+simulated world is frozen, which is what lets us reproduce the paper's
+100 ms control loop with perfect determinism.
 
 Scheduling order is a total order over ``(time, priority, sequence)`` so two
 events at the same instant are processed in FIFO creation order unless a
 priority says otherwise — the same tiebreak real Lustre gets implicitly from
-its work queues.
+its work queues.  Determinism is the engine's invariant: every optimization
+below preserves the exact ``(time, priority, seq)`` dispatch order, which is
+verified by the event-trace tests in ``tests/sim/`` and by the byte-identical
+fig3–fig9 outputs (see docs/performance.md).
+
+Hot-path design (the benchmark-regression harness in ``benchmarks/`` keeps
+these honest):
+
+* **Bare heap tuples** — the heap holds ``(time, priority, seq, event)``
+  tuples; nothing is ever re-heapified or removed in place.
+* **Lazy cancellation** — :meth:`Event.cancel` marks an event dead by
+  dropping its callback list; the dispatch loop skips dead entries when they
+  surface at the heap top instead of paying O(n) removal.
+* **Specialized run loops** — :meth:`Environment.run` dispatches through one
+  of three inlined loops (drain / run-until-time / run-until-event) chosen
+  once up front, so the per-event cost is a heap pop plus the callbacks and
+  none of the per-event method calls or stop-condition re-derivations the
+  naive ``while: step()`` loop paid.
+* **Timeout free list** — :class:`~repro.sim.events.Timeout` is the dominant
+  event type (client pacing, OSS idle waits, OST completion checks).  After
+  dispatch, a timeout that provably has no remaining references outside the
+  engine (checked via ``sys.getrefcount``) is recycled through a per-
+  environment free list, so steady-state simulation allocates almost no
+  event objects.  ``Environment(reuse_timeouts=False)`` disables reuse; the
+  determinism suite asserts identical event traces either way.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Generator, Iterable, List, Optional, Tuple
+from heapq import heappush
+from sys import getrefcount
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from repro.sim.events import Event, Timeout
 from repro.sim.process import Process
@@ -25,6 +51,11 @@ __all__ = ["Environment", "SimulationError", "PRIORITY_URGENT", "PRIORITY_NORMAL
 PRIORITY_URGENT = 0
 #: Default priority for ordinary events.
 PRIORITY_NORMAL = 1
+
+#: Upper bound on recycled Timeout objects kept per environment.  Enough to
+#: cover every concurrently pending timeout of a large cluster while keeping
+#: a drained environment's footprint bounded.
+_FREE_LIST_CAP = 4096
 
 
 class SimulationError(RuntimeError):
@@ -38,20 +69,46 @@ class Environment:
     ----------
     initial_time:
         Starting value of the simulated clock, in seconds.
+    reuse_timeouts:
+        Recycle dispatched :class:`Timeout` objects through a free list
+        (default).  Reuse is gated on a refcount check, so a timeout anyone
+        still holds a reference to is never recycled; disabling exists for
+        the determinism tests, which assert traces match with it on and off.
 
     Notes
     -----
-    All component models in this repository (clients, NRS, OSTs, the AdapTBF
-    controller) take an ``Environment`` as their first constructor argument
-    and interact exclusively through it, which keeps every experiment
-    single-threaded and bit-for-bit reproducible for a given seed.
+    All component models in this repository (clients, NRS, OSTs, the
+    bandwidth-mechanism handles) take an ``Environment`` as their first
+    constructor argument and interact exclusively through it, which keeps
+    every experiment single-threaded and bit-for-bit reproducible for a
+    given seed.
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_eid",
+        "_active_process",
+        "_dispatched",
+        "_free_timeouts",
+        "_reuse_timeouts",
+        "trace",
+    )
+
+    def __init__(
+        self, initial_time: float = 0.0, reuse_timeouts: bool = True
+    ) -> None:
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        self._dispatched = 0
+        self._free_timeouts: List[Timeout] = []
+        self._reuse_timeouts = bool(reuse_timeouts)
+        #: Optional dispatch hook ``trace(time, priority, seq, event)`` —
+        #: invoked for every dispatched event, in dispatch order.  Used by
+        #: the determinism tests; leave ``None`` in production runs.
+        self.trace: Optional[Callable[[float, int, int, Event], None]] = None
 
     # -- clock -------------------------------------------------------------
     @property
@@ -64,13 +121,46 @@ class Environment:
         """The process currently executing, if any."""
         return self._active_process
 
+    @property
+    def dispatched(self) -> int:
+        """Total events dispatched so far (skipped cancelled entries do not
+        count)."""
+        return self._dispatched
+
+    @property
+    def scheduled(self) -> int:
+        """Total events scheduled so far (heap pushes).
+
+        The benchmark harness's events/sec numerator: the determinism
+        invariant fixes the schedule sequence for a given workload, so this
+        count is identical across engine versions and the events/sec ratio
+        between two engines equals their wall-clock ratio.
+        """
+        return self._eid
+
     # -- event factories ----------------------------------------------------
     def event(self) -> Event:
         """Create a fresh, untriggered :class:`Event` bound to this env."""
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that fires ``delay`` seconds from now."""
+        """Create an event that fires ``delay`` seconds from now.
+
+        Serves from the free list when a recycled timeout is available;
+        otherwise constructs a fresh :class:`Timeout`.
+        """
+        free = self._free_timeouts
+        if free:
+            if delay < 0:
+                raise ValueError(f"negative timeout delay: {delay!r}")
+            timeout = free.pop()
+            timeout._value = value
+            timeout._defused = False
+            timeout._cancelled = False
+            timeout.delay = delay = float(delay)
+            self._eid = eid = self._eid + 1
+            heappush(self._queue, (self._now + delay, PRIORITY_NORMAL, eid, timeout))
+            return timeout
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator, name: Optional[str] = None) -> Process:
@@ -93,34 +183,68 @@ class Environment:
     ) -> None:
         """Place a triggered event on the heap ``delay`` seconds from now."""
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        heappush(self._queue, (self._now + delay, priority, self._eid, event))
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` when idle."""
+        """Time of the next scheduled entry, or ``inf`` when idle.
+
+        May report a lazily-cancelled entry's time; the run loops treat that
+        conservatively (they pop it, see it is dead, and move on).
+        """
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event, advancing the clock to its time."""
-        if not self._queue:
-            raise SimulationError("step() on an empty event queue")
-        when, _prio, _eid, event = heapq.heappop(self._queue)
-        # The heap is append-only; time never moves backwards.
-        assert when >= self._now, "event scheduled in the past"
-        self._now = when
+        """Dispatch exactly one live event, advancing the clock to its time.
 
-        callbacks, event.callbacks = event.callbacks, None
+        Lazily-cancelled entries surfacing at the heap top are discarded
+        without counting as the dispatched event.
+        """
+        queue = self._queue
+        while queue:
+            when, priority, seq, event = heapq.heappop(queue)
+            callbacks = event.callbacks
+            if callbacks is None:
+                continue  # lazily cancelled; never dispatched
+            self._dispatch(when, priority, seq, event, callbacks)
+            return
+        raise SimulationError("step() on an empty event queue")
+
+    def _dispatch(self, when, priority, seq, event, callbacks) -> None:
+        """Deliver one popped event (the non-inlined, single-step path)."""
+        self._now = when
+        if self.trace is not None:
+            self.trace(when, priority, seq, event)
+        event.callbacks = None
         for callback in callbacks:
             callback(event)
-
+        self._dispatched += 1
         if not event._ok and not event._defused:
             # A failure nobody handled: surface it rather than losing it.
-            exc = event._value
-            raise exc
+            raise event._value
+        if (
+            self._reuse_timeouts
+            and type(event) is Timeout
+            # Only the dispatch loop's local and getrefcount's argument
+            # reference the object: nothing in user code can observe reuse.
+            and getrefcount(event) == 3
+            and len(self._free_timeouts) < _FREE_LIST_CAP
+        ):
+            callbacks.clear()
+            event.callbacks = callbacks
+            self._free_timeouts.append(event)
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run until ``until`` (a time or an event) or until no events remain.
 
         Returns the value of ``until`` when it is an event; otherwise ``None``.
+
+        Notes
+        -----
+        This is the engine's hot loop: the stop condition is resolved once,
+        then one of three specialized dispatch loops runs with everything —
+        heap, pop, trace hook, free list — held in locals.  Each loop
+        preserves the exact ``(time, priority, seq)`` total order and the
+        exact per-event semantics of :meth:`step`.
         """
         stop_at: Optional[float] = None
         stop_event: Optional[Event] = None
@@ -138,15 +262,160 @@ class Environment:
                     f"run(until={stop_at}) is in the past (now={self._now})"
                 )
 
-        while self._queue:
-            if stop_event is not None and stop_event.processed:
+        if self.trace is not None:
+            # Traced runs take the readable one-event-at-a-time path.
+            return self._run_traced(stop_at, stop_event)
+
+        queue = self._queue
+        pop = heapq.heappop
+        reuse = self._reuse_timeouts
+        free = self._free_timeouts
+        cap = _FREE_LIST_CAP
+        timeout_type = Timeout
+        refcount = getrefcount
+        dispatched = self._dispatched
+        try:
+            if stop_event is not None:
+                while queue and stop_event.callbacks is not None:
+                    when, _priority, _seq, event = pop(queue)
+                    callbacks = event.callbacks
+                    if callbacks is None:
+                        # Lazily-cancelled: skip, but recycle the carcass.
+                        if (
+                            reuse
+                            and type(event) is timeout_type
+                            and refcount(event) == 2
+                            and len(free) < cap
+                        ):
+                            event.callbacks = []
+                            free.append(event)
+                        continue
+                    self._now = when
+                    event.callbacks = None
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
+                    dispatched += 1
+                    if not event._ok and not event._defused:
+                        raise event._value
+                    if (
+                        reuse
+                        and type(event) is timeout_type
+                        and refcount(event) == 2
+                        and len(free) < cap
+                    ):
+                        # Park the emptied callback list on the recycled
+                        # instance so reuse skips the list allocation too.
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        free.append(event)
+            elif stop_at is not None:
+                while True:
+                    if not queue or queue[0][0] > stop_at:
+                        self._now = stop_at
+                        break
+                    when, _priority, _seq, event = pop(queue)
+                    callbacks = event.callbacks
+                    if callbacks is None:
+                        # Lazily-cancelled: skip, but recycle the carcass.
+                        if (
+                            reuse
+                            and type(event) is timeout_type
+                            and refcount(event) == 2
+                            and len(free) < cap
+                        ):
+                            event.callbacks = []
+                            free.append(event)
+                        continue
+                    self._now = when
+                    event.callbacks = None
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
+                    dispatched += 1
+                    if not event._ok and not event._defused:
+                        raise event._value
+                    if (
+                        reuse
+                        and type(event) is timeout_type
+                        and refcount(event) == 2
+                        and len(free) < cap
+                    ):
+                        # Park the emptied callback list on the recycled
+                        # instance so reuse skips the list allocation too.
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        free.append(event)
+            else:
+                while queue:
+                    when, _priority, _seq, event = pop(queue)
+                    callbacks = event.callbacks
+                    if callbacks is None:
+                        # Lazily-cancelled: skip, but recycle the carcass.
+                        if (
+                            reuse
+                            and type(event) is timeout_type
+                            and refcount(event) == 2
+                            and len(free) < cap
+                        ):
+                            event.callbacks = []
+                            free.append(event)
+                        continue
+                    self._now = when
+                    event.callbacks = None
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
+                    dispatched += 1
+                    if not event._ok and not event._defused:
+                        raise event._value
+                    if (
+                        reuse
+                        and type(event) is timeout_type
+                        and refcount(event) == 2
+                        and len(free) < cap
+                    ):
+                        # Park the emptied callback list on the recycled
+                        # instance so reuse skips the list allocation too.
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        free.append(event)
+        finally:
+            self._dispatched = dispatched
+
+        if stop_event is not None:
+            if not stop_event.processed:
+                raise SimulationError(
+                    "run() ran out of events before the condition triggered"
+                )
+            if not stop_event.ok:
+                raise stop_event.value
+            return stop_event.value
+        return None
+
+    def _run_traced(
+        self, stop_at: Optional[float], stop_event: Optional[Event]
+    ) -> Any:
+        """The observable (hook-calling) run loop used when ``trace`` is set."""
+        queue = self._queue
+        while queue:
+            if stop_event is not None and stop_event.callbacks is None:
                 break
-            if stop_at is not None and self.peek() > stop_at:
+            if stop_at is not None and queue[0][0] > stop_at:
                 self._now = stop_at
                 break
-            self.step()
+            when, priority, seq, event = heapq.heappop(queue)
+            callbacks = event.callbacks
+            if callbacks is None:
+                continue
+            self._dispatch(when, priority, seq, event, callbacks)
         else:
-            # Queue drained: settle the clock on the horizon if one was given.
             if stop_at is not None:
                 self._now = stop_at
 

@@ -15,19 +15,40 @@ The separation of *triggered* and *processed* matters for determinism: a
 callback added after triggering but before processing still runs, while adding
 one after processing raises, surfacing ordering bugs instead of silently
 dropping wakeups.
+
+A fourth, terminal state exists for wakeups that lost a race:
+
+``cancelled``  :meth:`Event.cancel` dropped the callbacks; the heap entry is
+               skipped *lazily* when it reaches the top (O(1) amortized,
+               no heap surgery).  Cancelling discards any waiters, so it is
+               only appropriate for pure alarms nobody awaits exclusively —
+               the OSS idle race and the OST completion checks.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence
+from heapq import heappush
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.sim.engine import Environment
 
-__all__ = ["Event", "Timeout", "Interrupt", "AnyOf", "AllOf", "ConditionValue"]
+__all__ = [
+    "Event",
+    "Timeout",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+    "FirstOf",
+    "ConditionValue",
+]
 
 #: Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
 _PENDING = object()
+
+#: Heap priority for ordinary events (mirrors engine.PRIORITY_NORMAL; kept
+#: literal here so the Timeout fast path needs no cross-module import).
+_PRIORITY_NORMAL = 1
 
 
 class Interrupt(Exception):
@@ -52,7 +73,7 @@ class Event:
         may only be triggered once.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "_cancelled")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -61,6 +82,7 @@ class Event:
         self._value: Any = _PENDING
         self._ok: bool = True
         self._defused: bool = False
+        self._cancelled: bool = False
 
     # -- state inspection -------------------------------------------------
     @property
@@ -70,13 +92,18 @@ class Event:
 
     @property
     def processed(self) -> bool:
-        """True once all callbacks have run."""
+        """True once all callbacks have run (or the event was cancelled)."""
         return self.callbacks is None
+
+    @property
+    def cancelled(self) -> bool:
+        """True when :meth:`cancel` discarded this event."""
+        return self._cancelled
 
     @property
     def ok(self) -> bool:
         """True when the event succeeded (only meaningful once triggered)."""
-        if not self.triggered:
+        if self._value is _PENDING:
             raise RuntimeError("event not yet triggered")
         return self._ok
 
@@ -90,27 +117,44 @@ class Event:
     # -- triggering --------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING or self._cancelled:
             raise RuntimeError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self)
+        env = self.env
+        env._eid = eid = env._eid + 1
+        heappush(env._queue, (env._now, _PRIORITY_NORMAL, eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event as failed; waiters receive ``exception``."""
-        if self.triggered:
+        if self._value is not _PENDING or self._cancelled:
             raise RuntimeError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() expects an exception instance")
         self._ok = False
         self._value = exception
-        self.env._schedule(self)
+        env = self.env
+        env._eid = eid = env._eid + 1
+        heappush(env._queue, (env._now, _PRIORITY_NORMAL, eid, self))
         return self
 
     def defused(self) -> None:
         """Mark a failure as handled so the engine does not re-raise it."""
         self._defused = True
+
+    def cancel(self) -> None:
+        """Lazily cancel this event: drop its callbacks and let the heap
+        entry be skipped when it surfaces.
+
+        Any waiters are silently discarded — callers own the guarantee that
+        nobody is *exclusively* waiting on a cancelled event.  Cancelling an
+        already-processed event raises, surfacing use-after-dispatch bugs.
+        """
+        if self.callbacks is None:
+            raise RuntimeError(f"{self!r} already processed")
+        self._cancelled = True
+        self.callbacks = None
 
     # -- callback plumbing -------------------------------------------------
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -126,7 +170,9 @@ class Event:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = (
-            "processed"
+            "cancelled"
+            if self._cancelled
+            else "processed"
             if self.processed
             else "triggered"
             if self.triggered
@@ -140,6 +186,12 @@ class Timeout(Event):
 
     Unlike a plain :class:`Event`, a timeout is triggered immediately on
     construction — the delay is encoded in its scheduled time.
+
+    This is the dominant event type of every simulation (client pacing, OSS
+    idle waits, OST completion checks), so construction is a single flat
+    fast path — no ``super().__init__`` chain, no ``_schedule`` call — and
+    :meth:`Environment.timeout` recycles processed instances through the
+    environment's free list instead of constructing new ones.
     """
 
     __slots__ = ("delay",)
@@ -147,11 +199,15 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay!r}")
-        super().__init__(env)
-        self.delay = float(delay)
-        self._ok = True
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._schedule(self, delay=self.delay)
+        self._ok = True
+        self._defused = False
+        self._cancelled = False
+        self.delay = delay = float(delay)
+        env._eid = eid = env._eid + 1
+        heappush(env._queue, (env._now + delay, _PRIORITY_NORMAL, eid, self))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Timeout delay={self.delay!r}>"
@@ -191,14 +247,22 @@ class ConditionValue:
 
 
 class _Condition(Event):
-    """Base for composite events over a fixed set of component events."""
+    """Base for composite events over a fixed set of component events.
+
+    Each component event is examined exactly once — either at construction
+    (already processed) or via the single callback registered on it — so a
+    subclass's :meth:`_on_component` sees every component exactly once and
+    can track completion with a counter instead of rescanning the component
+    list (the rescan made ``all_of`` over N client processes O(N²) in total;
+    the counter makes it O(N)).
+    """
 
     __slots__ = ("_events", "_outstanding")
 
     def __init__(self, env: "Environment", events: Sequence[Event]) -> None:
         super().__init__(env)
         self._events = list(events)
-        self._outstanding = 0
+        self._outstanding = len(self._events)
         for event in self._events:
             if event.env is not env:
                 raise ValueError("all events must belong to the same environment")
@@ -207,31 +271,24 @@ class _Condition(Event):
             self.succeed(self._collect())
             return
 
+        check = self._check
         for event in self._events:
-            if event.processed:
-                self._check(event)
+            if event.callbacks is None:
+                check(event)
             else:
-                event.add_callback(self._check)
+                event.callbacks.append(check)
 
     def _collect(self) -> ConditionValue:
         # Keyed on *processed*, not *triggered*: a Timeout is triggered at
         # creation but its value only becomes observable once delivered.
         value = ConditionValue()
+        append = value.events.append
         for event in self._events:
-            if event.processed and event._ok:
-                value.events.append(event)
+            if event.callbacks is None and event._ok:
+                append(event)
         return value
 
-    def _check(self, event: Event) -> None:
-        if self.triggered:
-            return
-        if not event._ok:
-            event.defused()
-            self.fail(event._value)
-        elif self._satisfied():
-            self.succeed(self._collect())
-
-    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
 
@@ -240,8 +297,17 @@ class AnyOf(_Condition):
 
     __slots__ = ()
 
-    def _satisfied(self) -> bool:
-        return any(e.processed and e._ok for e in self._events)
+    def _check(self, event: Event) -> None:
+        # ``event`` is processed by the time we run (callback or the
+        # construction-time branch), so a success is sufficient on its own —
+        # no need to rescan the component list.
+        if self._value is not _PENDING:
+            return
+        if not event._ok:
+            event.defused()
+            self.fail(event._value)
+        else:
+            self.succeed(self._collect())
 
 
 class AllOf(_Condition):
@@ -249,5 +315,50 @@ class AllOf(_Condition):
 
     __slots__ = ()
 
-    def _satisfied(self) -> bool:
-        return all(e.processed and e._ok for e in self._events)
+    def _check(self, event: Event) -> None:
+        if self._value is not _PENDING:
+            return
+        if not event._ok:
+            event.defused()
+            self.fail(event._value)
+        else:
+            self._outstanding -= 1
+            if not self._outstanding:
+                self.succeed(self._collect())
+
+
+class FirstOf(Event):
+    """Lean race over component events: succeeds with the *event* that fired.
+
+    The low-overhead sibling of :class:`AnyOf` for pure wakeups — the OSS
+    idle wait races a token-deadline timer against the arrival broadcast
+    once per dequeue attempt, and never looks at the value.  ``FirstOf``
+    skips the :class:`ConditionValue` bookkeeping and delivers the winning
+    event itself; combine with :meth:`Event.cancel` to retire the losing
+    timer without waiting for it to surface.
+
+    Component events are not validated against the environment; callers own
+    that invariant (use :class:`AnyOf` at API boundaries).
+    """
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        check = self._check
+        for event in events:
+            if self._value is not _PENDING:
+                break
+            if event.callbacks is None:
+                check(event)
+            else:
+                event.callbacks.append(check)
+
+    def _check(self, event: Event) -> None:
+        if self._value is not _PENDING:
+            return
+        if event._ok:
+            self.succeed(event)
+        else:
+            event.defused()
+            self.fail(event._value)

@@ -5,6 +5,12 @@ an :class:`~repro.sim.events.Event` to wait on; when that event is processed
 the generator is resumed with the event's value (or the event's exception is
 thrown into it).  A process is itself an event that triggers when the
 generator returns, so processes can wait on each other.
+
+``_resume`` is on the dispatch hot path (it is the callback attached to
+every event a process waits on), so it caches the generator's bound
+``send``/``throw`` and its own bound callback once at construction and
+registers waits by appending to the target's callback list directly instead
+of re-deriving bound methods per yield.
 """
 
 from __future__ import annotations
@@ -32,7 +38,7 @@ class Process(Event):
         Optional label used in diagnostics.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "_send", "_throw", "_resume_cb")
 
     def __init__(
         self,
@@ -44,13 +50,16 @@ class Process(Event):
             raise TypeError(f"process body must be a generator, got {generator!r}")
         super().__init__(env)
         self._generator = generator
+        self._send = generator.send
+        self._throw = generator.throw
+        self._resume_cb = self._resume
         self.name = name or getattr(generator, "__name__", "process")
         #: Event this process is currently waiting on (None once finished).
         self._target: Optional[Event] = None
 
         # Kick the process off via an immediately-triggered bootstrap event.
         bootstrap = Event(env)
-        bootstrap.callbacks.append(self._resume)
+        bootstrap.callbacks.append(self._resume_cb)
         bootstrap._ok = True
         bootstrap._value = None
         env._schedule(bootstrap, priority=0)
@@ -83,23 +92,25 @@ class Process(Event):
         wakeup._ok = False
         wakeup._value = Interrupt(cause)
         wakeup._defused = True
-        wakeup.callbacks.append(self._resume)
+        wakeup.callbacks.append(self._resume_cb)
         self.env._schedule(wakeup, priority=0)
 
         # Detach from whatever we were waiting on so the original event's
         # later arrival does not resume us twice.
         if self._target is not None and self._target.callbacks is not None:
-            self._target.remove_callback(self._resume)
+            self._target.remove_callback(self._resume_cb)
         self._target = None
 
     # -- engine plumbing ------------------------------------------------------
     def _resume(self, event: Event) -> None:
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
+        send = self._send
         try:
             while True:
                 if event._ok:
                     try:
-                        next_target = self._generator.send(event._value)
+                        next_target = send(event._value)
                     except StopIteration as stop:
                         self._finish(value=stop.value)
                         return
@@ -110,7 +121,7 @@ class Process(Event):
                     # The awaited event failed: raise inside the process.
                     event.defused()
                     try:
-                        next_target = self._generator.throw(event._value)
+                        next_target = self._throw(event._value)
                     except StopIteration as stop:
                         self._finish(value=stop.value)
                         return
@@ -125,15 +136,16 @@ class Process(Event):
                     )
                     self._finish(error=error)
                     return
-                if next_target.processed:
+                callbacks = next_target.callbacks
+                if callbacks is None:
                     # Already done: loop immediately with its outcome.
                     event = next_target
                     continue
-                next_target.add_callback(self._resume)
+                callbacks.append(self._resume_cb)
                 self._target = next_target
                 return
         finally:
-            self.env._active_process = None
+            env._active_process = None
 
     def _finish(
         self, value: Any = None, error: Optional[BaseException] = None

@@ -93,3 +93,49 @@ class TestDiurnalMixScenario:
             REGISTRY.build("diurnal-mix", days=0)
         with pytest.raises(ValueError):
             REGISTRY.build("diurnal-mix", phase_s=0)
+
+
+class TestScale500OstScenario:
+    def test_structure(self):
+        spec = REGISTRY.build("scale-500ost")
+        assert spec.topology.n_osts == 500
+        assert spec.topology.stripe_count == 8
+        assert spec.topology.io_threads == 4
+        assert sorted(spec.job_ids) == ["hog", "science"]
+
+    def test_runs_reduced(self):
+        result = run_scenario(
+            REGISTRY.build(
+                "scale-500ost", n_osts=20, procs=8, file_mib=8.0, duration=0.3
+            )
+        )
+        assert result.summary.aggregate_mib_s > 0
+        assert len(result.per_ost_histories) == 20
+
+
+class TestClientSwarmScenario:
+    def test_clients_split_evenly_over_jobs(self):
+        spec = REGISTRY.build("client-swarm", n_clients=10, n_jobs=3)
+        per_job = [len(job.processes) for job in spec.jobs]
+        assert sum(per_job) == 10
+        assert max(per_job) - min(per_job) <= 1
+
+    def test_priority_tiers_cycle(self):
+        spec = REGISTRY.build("client-swarm", n_clients=8, n_jobs=8)
+        assert [job.nodes for job in spec.jobs] == [1, 2, 4, 8, 1, 2, 4, 8]
+
+    def test_more_jobs_than_clients_clamps(self):
+        spec = REGISTRY.build("client-swarm", n_clients=2, n_jobs=8)
+        assert len(spec.jobs) == 2
+
+    def test_runs_reduced(self):
+        result = run_scenario(
+            REGISTRY.build("client-swarm", n_clients=40, duration=0.3)
+        )
+        assert result.summary.aggregate_mib_s > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            REGISTRY.build("client-swarm", n_clients=0)
+        with pytest.raises(ValueError):
+            REGISTRY.build("client-swarm", n_jobs=0)
