@@ -46,6 +46,7 @@ __all__ = [
     "AXIS_MODES",
     "POLICY_PARAMS",
     "WORKLOAD_PARAMS",
+    "RUN_PARAMS",
     "ParameterAxis",
     "CampaignCell",
     "CampaignSpec",
@@ -62,6 +63,13 @@ POLICY_PARAMS = ("mechanism",)
 #: Cell parameters applied to the resolved spec's workload axis
 #: (``ScenarioSpec.with_workload``) rather than the scenario factory.
 WORKLOAD_PARAMS = ("workload",)
+
+#: Cell parameters applied to the resolved spec's run spec
+#: (``ScenarioSpec.with_run``) rather than the scenario factory —
+#: ``backend`` sweeps the kernel backend, which is how a campaign
+#: cross-checks that results are backend-invariant (they are bit-identical
+#: by the engine's determinism contract) while comparing wall-clock cost.
+RUN_PARAMS = ("backend",)
 
 #: ``describe()`` previews at most this many cells.
 _DESCRIBE_CELLS = 8
@@ -233,10 +241,12 @@ class CampaignSpec:
 
         Parameters the scenario factory accepts go to the factory; the
         reserved :data:`POLICY_PARAMS` are applied to the built spec's
-        policy (``mechanism`` swaps the bandwidth mechanism under test)
-        and the reserved :data:`WORKLOAD_PARAMS` to its workload axis
-        (``workload`` rebuilds every process's pattern from the registry).
-        Anything else is rejected with the factory's own error.
+        policy (``mechanism`` swaps the bandwidth mechanism under test),
+        the reserved :data:`WORKLOAD_PARAMS` to its workload axis
+        (``workload`` rebuilds every process's pattern from the registry),
+        and the reserved :data:`RUN_PARAMS` to its run spec (``backend``
+        sweeps the kernel backend).  Anything else is rejected with the
+        factory's own error.
         """
         from repro.scenarios import REGISTRY
 
@@ -252,9 +262,16 @@ class CampaignSpec:
             for key in WORKLOAD_PARAMS
             if key in params and key not in entry.params
         }
+        run_overrides = {
+            key: params.pop(key)
+            for key in RUN_PARAMS
+            if key in params and key not in entry.params
+        }
         spec = entry.build(**params)
         if policy_overrides:
             spec = spec.with_policy(**policy_overrides)
+        if run_overrides:
+            spec = spec.with_run(**run_overrides)
         if spec.run.seed != cell.seed:
             # Stamp the derived seed into the run spec for provenance even
             # when the scenario factory itself takes no seed.

@@ -23,6 +23,7 @@ Usage::
         --workload-param rate_per_s=20                  # any registered load
     python -m repro.experiments run trace-replay        # bundled trace replay
     python -m repro.experiments campaign run workload-shootout --jobs 2
+    python -m repro.experiments run quickstart --backend array  # kernel backend
 
 Figure names (``fig3`` … ``fig9``, ``overhead``, ``all``) invoke the paper's
 reproduction adapters — the three-mechanism comparison, report and shape
@@ -132,13 +133,14 @@ def _run_overhead() -> bool:
 def _run_figures(name: str, args, params: Dict[str, str]) -> bool:
     if (
         args.duration is not None
+        or args.backend is not None
         or args.mechanism is not None
         or args.mechanism_param
         or args.workload is not None
         or args.workload_param
     ):
         raise SystemExit(
-            "--duration/--mechanism/--mechanism-param/--workload/"
+            "--duration/--backend/--mechanism/--mechanism-param/--workload/"
             "--workload-param apply to registered scenarios; figure "
             "adapters always run their paper-defined workload and "
             "duration under all three mechanisms (scale them with "
@@ -176,6 +178,8 @@ def _run_registered(name: str, args, params: Dict[str, str]) -> bool:
         spec = REGISTRY.build(name, **REGISTRY.coerce(name, params))
         if args.duration is not None:
             spec = spec.with_run(duration_s=args.duration)
+        if args.backend is not None:
+            spec = spec.with_run(backend=args.backend)
         mech_params = _split_params(getattr(args, "mechanism_param", None))
         # One with_policy call: params are coerced against the mechanism
         # actually taking effect, never a stale one.
@@ -438,6 +442,13 @@ def main(argv=None) -> int:
         type=float,
         default=None,
         help="cap simulated duration in seconds (registered scenarios)",
+    )
+    run_p.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="kernel backend for the simulation engine (heap/array; "
+        "results are identical, only wall-clock cost differs)",
     )
     run_p.add_argument(
         "--mechanism",

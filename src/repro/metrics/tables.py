@@ -8,7 +8,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
+try:  # pragma: no cover - exercised via the no-numpy CI leg
+    import numpy as np
+except ImportError:  # pragma: no cover
+    # Keeps `import repro` working without numpy (the kernel runs without
+    # it); rendering actual series data still requires the arrays.
+    np = None
 
 __all__ = ["format_table", "format_series", "format_gains"]
 

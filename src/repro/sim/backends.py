@@ -1,0 +1,756 @@
+"""Pluggable kernel backends for the discrete-event engine.
+
+The :class:`~repro.sim.engine.Environment` owns the *semantics* of a run —
+the clock, the ``(time, priority, seq)`` total order, event dispatch — while
+a :class:`KernelBackend` owns the *mechanics*: how pending entries are
+stored, how the next live entry is found, and how the inlined run loops are
+shaped.  The split is the seam that lets alternative calendars ship without
+touching model code: every backend must dispatch the exact same
+``(time, priority, seq, event)`` stream for a given workload, which the
+cross-backend differ (:mod:`repro.sim.tracediff`) and the parity tests in
+``tests/sim/test_backends.py`` enforce.
+
+Two backends ship:
+
+``"heap"`` (default)
+    The PR 5 kernel, unchanged: one ``heapq`` of bare
+    ``(time, priority, seq, event)`` tuples plus the refcount-gated timeout
+    free list.  Best general-purpose choice and the only backend exercised
+    when numpy is absent *and* installed — it has no optional dependencies.
+
+``"array"``
+    A two-lane calendar tuned for the simulation's actual event mix, where
+    over half of all scheduled entries are *immediate* (an ``Event.succeed``
+    at the current instant: request arrivals, grant signals, condition
+    triggers):
+
+    * an **at-now FIFO lane** (``collections.deque``) absorbs entries
+      scheduled for the current instant at normal priority.  Because the
+      clock never moves backwards, the lane is sorted by construction and
+      both ends are O(1) — those entries never pay the O(log n) sift of the
+      far heap;
+    * a **far heap lane** (``heapq``) holds everything else — true
+      timeouts, urgent wakeups — exactly like the heap kernel;
+    * **batched insertion** (:meth:`ArrayBackend.batch_timeouts`) stages a
+      homogeneous block of timeouts as struct-of-arrays columns (the
+      absolute-time column is computed in one vectorized ``now + delays``
+      operation when numpy is available), then restores the heap invariant
+      with a single O(n) ``heapify`` instead of n O(log n) pushes;
+    * the run loops keep the heap kernel's refcount-gated timeout
+      recycling — measured, recycling beats the allocation churn of a
+      "leaner" loop on every timeout-heavy workload.
+
+    Dispatch order is proven identical to the heap kernel: the FIFO lane
+    only ever holds ``(now, PRIORITY_NORMAL, seq)`` entries for the current
+    or earlier instants, its internal order is by construction the seq
+    order, and each pop takes the true minimum of the two lane heads by
+    full-tuple comparison.
+
+numpy is optional (the ``repro[fast]`` extra).  When it is missing the
+array backend still works — batch staging falls back to a plain Python
+loop — and the heap backend is entirely numpy-free.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from functools import partial
+from heapq import heapify, heappush
+from sys import getrefcount
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
+
+from repro.sim.events import Event, Timeout
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.engine import Environment
+
+try:  # pragma: no cover - exercised via the no-numpy CI leg
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: True when numpy is importable; the array backend vectorizes batch
+#: staging only in that case and falls back to pure Python otherwise.
+HAVE_NUMPY = _np is not None
+
+__all__ = [
+    "KernelBackend",
+    "HeapBackend",
+    "ArrayBackend",
+    "SimulationError",
+    "PRIORITY_URGENT",
+    "PRIORITY_NORMAL",
+    "HAVE_NUMPY",
+    "DEFAULT_BACKEND",
+    "available_backends",
+    "register_backend",
+    "resolve_backend",
+]
+
+#: Priority for engine-internal wakeups that must precede user events.
+PRIORITY_URGENT = 0
+#: Default priority for ordinary events.
+PRIORITY_NORMAL = 1
+
+#: Upper bound on recycled Timeout objects kept per environment.  Enough to
+#: cover every concurrently pending timeout of a large cluster while keeping
+#: a drained environment's footprint bounded.
+_FREE_LIST_CAP = 4096
+
+#: Minimum batch size before :meth:`ArrayBackend.batch_timeouts` vectorizes
+#: the absolute-time column through numpy; below this the conversion
+#: overhead exceeds the win.
+_VECTORIZE_MIN = 32
+
+
+class SimulationError(RuntimeError):
+    """Raised for engine misuse (e.g. running a finished simulation)."""
+
+
+def _finish_run(stop_event: Optional[Event]) -> Any:
+    """Shared run() epilogue: resolve an ``until=event`` stop condition."""
+    if stop_event is not None:
+        if not stop_event.processed:
+            raise SimulationError(
+                "run() ran out of events before the condition triggered"
+            )
+        if not stop_event.ok:
+            raise stop_event.value
+        return stop_event.value
+    return None
+
+
+class KernelBackend:
+    """Interface between :class:`Environment` and an event calendar.
+
+    A backend is constructed with its owning environment and then owns the
+    storage and run loops.  The contract every implementation must honor:
+
+    * entries are ``(time, priority, seq, event)`` tuples and dispatch must
+      follow the total order over ``(time, priority, seq)``;
+    * lazily-cancelled entries (``event.callbacks is None``) are skipped
+      when they surface and never count as dispatched;
+    * per-event semantics match :meth:`Environment.step` exactly.
+
+    Backends expose two insert callables as instance attributes rather than
+    methods so each can install the fastest callable available (C-level
+    ``functools.partial``/bound builtins, no Python frame per insert):
+
+    ``push``
+        The general entry point — any ``(time, priority, seq, event)``.
+        The environment aliases it as ``env._push``; ``_schedule`` and the
+        timeout paths route through it.
+    ``push_now``
+        Specialized for entries known *statically* to be at the current
+        instant with :data:`PRIORITY_NORMAL` — exactly what
+        ``Event.succeed``/``Event.fail`` produce.  Aliased as
+        ``env._push_now``; backends with an at-now fast lane (the array
+        kernel's FIFO) bind it to that lane's append.
+    """
+
+    __slots__ = ("env", "push", "push_now")
+
+    #: Registry key; subclasses override.
+    name = "abstract"
+    #: True when the backend wants vectorized token-bucket banks
+    #: (:class:`repro.lustre.bucket.BucketArray`) wired into schedulers.
+    vectorized_buckets = False
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.push: Callable[[Tuple[float, int, int, Event]], None]
+        self.push_now: Callable[[Tuple[float, int, int, Event]], None]
+
+    # -- calendar queries ---------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next entry (possibly cancelled), or ``inf``."""
+        raise NotImplementedError
+
+    def pending(self) -> int:
+        """Number of stored entries, including lazily-cancelled ones."""
+        raise NotImplementedError
+
+    # -- dispatch -----------------------------------------------------------
+    def step(self) -> None:
+        """Dispatch exactly one live event (see :meth:`Environment.step`)."""
+        raise NotImplementedError
+
+    def run(self, stop_at: Optional[float], stop_event: Optional[Event]) -> Any:
+        """Run to the resolved stop condition (see :meth:`Environment.run`)."""
+        raise NotImplementedError
+
+    # -- bulk scheduling ----------------------------------------------------
+    def batch_timeouts(self, delays: Sequence[float], value: Any = None) -> List[Timeout]:
+        """Create one timeout per delay; backends may batch the insertion.
+
+        The default implementation simply loops ``env.timeout`` — semantics
+        (eid assignment order, dispatch order) are identical either way.
+        """
+        env = self.env
+        timeout = env.timeout
+        return [timeout(delay, value) for delay in delays]
+
+
+class HeapBackend(KernelBackend):
+    """The default kernel: a single binary heap of bare entry tuples.
+
+    This is the PR 5 engine verbatim — the three specialized run loops, the
+    lazy-cancellation skip, and the refcount-gated timeout free list moved
+    behind the backend seam without any behavioral change.  ``push`` is a
+    ``functools.partial`` of the C ``heappush`` so routing every scheduling
+    site through ``env._push`` costs nothing over the old hardwired calls.
+    """
+
+    __slots__ = ()
+
+    name = "heap"
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.push = self.push_now = partial(heappush, env._queue)
+
+    def peek(self) -> float:
+        queue = self.env._queue
+        return queue[0][0] if queue else float("inf")
+
+    def pending(self) -> int:
+        return len(self.env._queue)
+
+    def step(self) -> None:
+        env = self.env
+        queue = env._queue
+        while queue:
+            when, priority, seq, event = heapq.heappop(queue)
+            callbacks = event.callbacks
+            if callbacks is None:
+                continue  # lazily cancelled; never dispatched
+            env._dispatch(when, priority, seq, event, callbacks)
+            return
+        raise SimulationError("step() on an empty event queue")
+
+    def run(self, stop_at: Optional[float], stop_event: Optional[Event]) -> Any:
+        env = self.env
+        if env.trace is not None:
+            # Traced runs take the readable one-event-at-a-time path.
+            return self._run_traced(stop_at, stop_event)
+
+        queue = env._queue
+        pop = heapq.heappop
+        reuse = env._reuse_timeouts
+        free = env._free_timeouts
+        cap = _FREE_LIST_CAP
+        timeout_type = Timeout
+        refcount = getrefcount
+        dispatched = env._dispatched
+        try:
+            if stop_event is not None:
+                while queue and stop_event.callbacks is not None:
+                    when, _priority, _seq, event = pop(queue)
+                    callbacks = event.callbacks
+                    if callbacks is None:
+                        # Lazily-cancelled: skip, but recycle the carcass.
+                        if (
+                            reuse
+                            and type(event) is timeout_type
+                            and refcount(event) == 2
+                            and len(free) < cap
+                        ):
+                            event.callbacks = []
+                            free.append(event)
+                        continue
+                    env._now = when
+                    event.callbacks = None
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
+                    dispatched += 1
+                    if not event._ok and not event._defused:
+                        raise event._value
+                    if (
+                        reuse
+                        and type(event) is timeout_type
+                        and refcount(event) == 2
+                        and len(free) < cap
+                    ):
+                        # Park the emptied callback list on the recycled
+                        # instance so reuse skips the list allocation too.
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        free.append(event)
+            elif stop_at is not None:
+                while True:
+                    if not queue or queue[0][0] > stop_at:
+                        env._now = stop_at
+                        break
+                    when, _priority, _seq, event = pop(queue)
+                    callbacks = event.callbacks
+                    if callbacks is None:
+                        # Lazily-cancelled: skip, but recycle the carcass.
+                        if (
+                            reuse
+                            and type(event) is timeout_type
+                            and refcount(event) == 2
+                            and len(free) < cap
+                        ):
+                            event.callbacks = []
+                            free.append(event)
+                        continue
+                    env._now = when
+                    event.callbacks = None
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
+                    dispatched += 1
+                    if not event._ok and not event._defused:
+                        raise event._value
+                    if (
+                        reuse
+                        and type(event) is timeout_type
+                        and refcount(event) == 2
+                        and len(free) < cap
+                    ):
+                        # Park the emptied callback list on the recycled
+                        # instance so reuse skips the list allocation too.
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        free.append(event)
+            else:
+                while queue:
+                    when, _priority, _seq, event = pop(queue)
+                    callbacks = event.callbacks
+                    if callbacks is None:
+                        # Lazily-cancelled: skip, but recycle the carcass.
+                        if (
+                            reuse
+                            and type(event) is timeout_type
+                            and refcount(event) == 2
+                            and len(free) < cap
+                        ):
+                            event.callbacks = []
+                            free.append(event)
+                        continue
+                    env._now = when
+                    event.callbacks = None
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
+                    dispatched += 1
+                    if not event._ok and not event._defused:
+                        raise event._value
+                    if (
+                        reuse
+                        and type(event) is timeout_type
+                        and refcount(event) == 2
+                        and len(free) < cap
+                    ):
+                        # Park the emptied callback list on the recycled
+                        # instance so reuse skips the list allocation too.
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        free.append(event)
+        finally:
+            env._dispatched = dispatched
+
+        return _finish_run(stop_event)
+
+    def _run_traced(
+        self, stop_at: Optional[float], stop_event: Optional[Event]
+    ) -> Any:
+        """The observable (hook-calling) run loop used when ``trace`` is set."""
+        env = self.env
+        queue = env._queue
+        while queue:
+            if stop_event is not None and stop_event.callbacks is None:
+                break
+            if stop_at is not None and queue[0][0] > stop_at:
+                env._now = stop_at
+                break
+            when, priority, seq, event = heapq.heappop(queue)
+            callbacks = event.callbacks
+            if callbacks is None:
+                continue
+            env._dispatch(when, priority, seq, event, callbacks)
+        else:
+            if stop_at is not None:
+                env._now = stop_at
+
+        return _finish_run(stop_event)
+
+
+class ArrayBackend(KernelBackend):
+    """Two-lane calendar: at-now FIFO deque + far heap, with batch staging.
+
+    Lane discipline (the correctness core — see the module docstring):
+
+    * ``push_now`` — bound to the FIFO deque's ``append`` — receives only
+      entries statically known to be at the current instant at
+      :data:`PRIORITY_NORMAL` (``Event.succeed``/``fail``); ``push`` — a
+      C-level ``partial(heappush, heap)`` identical to the heap kernel's —
+      receives everything else (timeouts, urgent wakeups).  Both inserts
+      run without a Python frame, so scheduling costs no more than under
+      the heap kernel.
+    * Because ``now`` is non-decreasing and seq is strictly increasing, the
+      FIFO lane is always internally sorted by ``(time, priority, seq)``.
+    * Every pop compares the two lane heads with a full-tuple comparison,
+      so the dispatched stream is the exact global minimum each time.
+      (An at-now entry routed through the *general* push lands on the heap
+      lane; that is equally correct — only the FIFO lane has a discipline
+      to maintain.)
+
+    The loops keep the heap kernel's refcount-gated timeout recycling —
+    measured on the timer-wheel micro bench, recycling beats allocation
+    churn by ~1.5x, so "leaner loops without the free list" lost on every
+    timeout-heavy workload and was dropped.
+    """
+
+    __slots__ = ("fifo",)
+
+    name = "array"
+    vectorized_buckets = True
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        # The far lane reuses env._queue so introspection (repr, debuggers)
+        # sees the same structure the heap kernel exposes.
+        fifo = self.fifo = deque()
+        self.push = partial(heappush, env._queue)
+        self.push_now = fifo.append
+
+    def peek(self) -> float:
+        fifo = self.fifo
+        heap = self.env._queue
+        if fifo:
+            if heap and heap[0] < fifo[0]:
+                return heap[0][0]
+            return fifo[0][0]
+        return heap[0][0] if heap else float("inf")
+
+    def pending(self) -> int:
+        return len(self.fifo) + len(self.env._queue)
+
+    def step(self) -> None:
+        env = self.env
+        fifo = self.fifo
+        heap = env._queue
+        pop = heapq.heappop
+        while True:
+            if fifo:
+                if heap and heap[0] < fifo[0]:
+                    when, priority, seq, event = pop(heap)
+                else:
+                    when, priority, seq, event = fifo.popleft()
+            elif heap:
+                when, priority, seq, event = pop(heap)
+            else:
+                raise SimulationError("step() on an empty event queue")
+            callbacks = event.callbacks
+            if callbacks is None:
+                continue  # lazily cancelled; never dispatched
+            env._dispatch(when, priority, seq, event, callbacks)
+            return
+
+    def run(self, stop_at: Optional[float], stop_event: Optional[Event]) -> Any:
+        env = self.env
+        if env.trace is not None:
+            return self._run_traced(stop_at, stop_event)
+
+        fifo = self.fifo
+        heap = env._queue
+        pop = heapq.heappop
+        popleft = fifo.popleft
+        reuse = env._reuse_timeouts
+        free = env._free_timeouts
+        cap = _FREE_LIST_CAP
+        timeout_type = Timeout
+        refcount = getrefcount
+        dispatched = env._dispatched
+        try:
+            if stop_event is not None:
+                while stop_event.callbacks is not None:
+                    if fifo:
+                        if heap and heap[0] < fifo[0]:
+                            when, _priority, _seq, event = pop(heap)
+                        else:
+                            when, _priority, _seq, event = popleft()
+                    elif heap:
+                        when, _priority, _seq, event = pop(heap)
+                    else:
+                        break
+                    callbacks = event.callbacks
+                    if callbacks is None:
+                        # Lazily-cancelled: skip, but recycle the carcass.
+                        if (
+                            reuse
+                            and type(event) is timeout_type
+                            and refcount(event) == 2
+                            and len(free) < cap
+                        ):
+                            event.callbacks = []
+                            free.append(event)
+                        continue
+                    env._now = when
+                    event.callbacks = None
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
+                    dispatched += 1
+                    if not event._ok and not event._defused:
+                        raise event._value
+                    if (
+                        reuse
+                        and type(event) is timeout_type
+                        and refcount(event) == 2
+                        and len(free) < cap
+                    ):
+                        # Park the emptied callback list on the recycled
+                        # instance so reuse skips the list allocation too.
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        free.append(event)
+            elif stop_at is not None:
+                while True:
+                    if fifo:
+                        # FIFO entries are at (or before) now <= stop_at, so
+                        # only the heap head can overshoot the horizon — and
+                        # when it wins the comparison it is <= the FIFO head.
+                        if heap and heap[0] < fifo[0]:
+                            when, _priority, _seq, event = pop(heap)
+                        else:
+                            when, _priority, _seq, event = popleft()
+                    else:
+                        if not heap or heap[0][0] > stop_at:
+                            env._now = stop_at
+                            break
+                        when, _priority, _seq, event = pop(heap)
+                    callbacks = event.callbacks
+                    if callbacks is None:
+                        # Lazily-cancelled: skip, but recycle the carcass.
+                        if (
+                            reuse
+                            and type(event) is timeout_type
+                            and refcount(event) == 2
+                            and len(free) < cap
+                        ):
+                            event.callbacks = []
+                            free.append(event)
+                        continue
+                    env._now = when
+                    event.callbacks = None
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
+                    dispatched += 1
+                    if not event._ok and not event._defused:
+                        raise event._value
+                    if (
+                        reuse
+                        and type(event) is timeout_type
+                        and refcount(event) == 2
+                        and len(free) < cap
+                    ):
+                        # Park the emptied callback list on the recycled
+                        # instance so reuse skips the list allocation too.
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        free.append(event)
+            else:
+                while True:
+                    if fifo:
+                        if heap and heap[0] < fifo[0]:
+                            when, _priority, _seq, event = pop(heap)
+                        else:
+                            when, _priority, _seq, event = popleft()
+                    elif heap:
+                        when, _priority, _seq, event = pop(heap)
+                    else:
+                        break
+                    callbacks = event.callbacks
+                    if callbacks is None:
+                        # Lazily-cancelled: skip, but recycle the carcass.
+                        if (
+                            reuse
+                            and type(event) is timeout_type
+                            and refcount(event) == 2
+                            and len(free) < cap
+                        ):
+                            event.callbacks = []
+                            free.append(event)
+                        continue
+                    env._now = when
+                    event.callbacks = None
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
+                    dispatched += 1
+                    if not event._ok and not event._defused:
+                        raise event._value
+                    if (
+                        reuse
+                        and type(event) is timeout_type
+                        and refcount(event) == 2
+                        and len(free) < cap
+                    ):
+                        # Park the emptied callback list on the recycled
+                        # instance so reuse skips the list allocation too.
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        free.append(event)
+        finally:
+            env._dispatched = dispatched
+
+        return _finish_run(stop_event)
+
+    def _run_traced(
+        self, stop_at: Optional[float], stop_event: Optional[Event]
+    ) -> Any:
+        env = self.env
+        fifo = self.fifo
+        heap = env._queue
+        while True:
+            if stop_event is not None and stop_event.callbacks is None:
+                break
+            if fifo:
+                if heap and heap[0] < fifo[0]:
+                    when, priority, seq, event = heapq.heappop(heap)
+                else:
+                    when, priority, seq, event = fifo.popleft()
+            else:
+                if not heap:
+                    if stop_at is not None:
+                        env._now = stop_at
+                    break
+                if stop_at is not None and heap[0][0] > stop_at:
+                    env._now = stop_at
+                    break
+                when, priority, seq, event = heapq.heappop(heap)
+            callbacks = event.callbacks
+            if callbacks is None:
+                continue
+            env._dispatch(when, priority, seq, event, callbacks)
+
+        return _finish_run(stop_event)
+
+    def batch_timeouts(self, delays: Sequence[float], value: Any = None) -> List[Timeout]:
+        """Create timeouts for a homogeneous block of delays in one pass.
+
+        The absolute-time column is computed as a single vectorized
+        ``now + delays`` when numpy is available and the block is large
+        enough to pay for the conversion; scalar and vector float64
+        addition round identically, so the resulting times are bit-equal
+        to the one-at-a-time path.  All staged entries go to the far lane
+        (any lane assignment is correct; only the FIFO lane has a
+        discipline to maintain) and the heap invariant is restored with a
+        single ``heapify`` when that is cheaper than individual pushes.
+        """
+        env = self.env
+        now = env._now
+        if _np is not None and len(delays) >= _VECTORIZE_MIN:
+            column = _np.asarray(delays, dtype=_np.float64)
+            if column.size and float(column.min()) < 0:
+                raise ValueError("negative timeout delay in batch")
+            delay_list = column.tolist()
+            time_list = (now + column).tolist()
+        else:
+            delay_list = [float(delay) for delay in delays]
+            for delay in delay_list:
+                if delay < 0:
+                    raise ValueError(f"negative timeout delay: {delay!r}")
+            time_list = [now + delay for delay in delay_list]
+
+        eid = env._eid
+        timeouts: List[Timeout] = []
+        append = timeouts.append
+        entries: List[Tuple[float, int, int, Timeout]] = []
+        stage = entries.append
+        new = Timeout.__new__
+        timeout_type = Timeout
+        for delay, when in zip(delay_list, time_list):
+            timeout = new(timeout_type)
+            timeout.env = env
+            timeout.callbacks = []
+            timeout._value = value
+            timeout._ok = True
+            timeout._defused = False
+            timeout._cancelled = False
+            timeout.delay = delay
+            eid += 1
+            stage((when, PRIORITY_NORMAL, eid, timeout))
+            append(timeout)
+        env._eid = eid
+
+        heap = env._queue
+        if len(entries) > 8 and len(entries) * 4 > len(heap):
+            heap.extend(entries)
+            heapify(heap)
+        else:
+            for entry in entries:
+                heappush(heap, entry)
+        return timeouts
+
+
+#: Name → backend class.  Extendable via :func:`register_backend`.
+BACKENDS: Dict[str, Type[KernelBackend]] = {
+    HeapBackend.name: HeapBackend,
+    ArrayBackend.name: ArrayBackend,
+}
+
+#: Backend used when ``Environment(backend=None)``.
+DEFAULT_BACKEND = "heap"
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backend names, default first."""
+    names = sorted(BACKENDS)
+    names.remove(DEFAULT_BACKEND)
+    return (DEFAULT_BACKEND, *names)
+
+
+def register_backend(name: str, backend: Type[KernelBackend]) -> None:
+    """Register a kernel backend class under ``name``.
+
+    Re-registering an existing name raises — backends are part of the
+    reproducibility contract, so silently swapping one out is a bug.
+    """
+    if name in BACKENDS:
+        raise ValueError(f"kernel backend {name!r} already registered")
+    if not (isinstance(backend, type) and issubclass(backend, KernelBackend)):
+        raise TypeError(f"backend must be a KernelBackend subclass, got {backend!r}")
+    BACKENDS[name] = backend
+
+
+def resolve_backend(backend: Optional[str | Type[KernelBackend]]) -> Type[KernelBackend]:
+    """Resolve a backend selector (name, class, or None) to a class."""
+    if backend is None:
+        backend = DEFAULT_BACKEND
+    if isinstance(backend, type) and issubclass(backend, KernelBackend):
+        return backend
+    try:
+        return BACKENDS[backend]
+    except (KeyError, TypeError):
+        known = ", ".join(available_backends())
+        raise ValueError(
+            f"unknown kernel backend {backend!r}; available: {known}"
+        ) from None

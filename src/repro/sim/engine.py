@@ -1,8 +1,8 @@
 """The discrete-event simulation core.
 
-:class:`Environment` owns the virtual clock and the event heap.  Time only
-advances when the engine pops the next scheduled event; between events the
-simulated world is frozen, which is what lets us reproduce the paper's
+:class:`Environment` owns the virtual clock and the event calendar.  Time
+only advances when the engine pops the next scheduled event; between events
+the simulated world is frozen, which is what lets us reproduce the paper's
 100 ms control loop with perfect determinism.
 
 Scheduling order is a total order over ``(time, priority, sequence)`` so two
@@ -13,53 +13,42 @@ below preserves the exact ``(time, priority, seq)`` dispatch order, which is
 verified by the event-trace tests in ``tests/sim/`` and by the byte-identical
 fig3–fig9 outputs (see docs/performance.md).
 
-Hot-path design (the benchmark-regression harness in ``benchmarks/`` keeps
-these honest):
+Since PR 6 the calendar and dispatch loops live behind a pluggable **kernel
+backend** seam (:mod:`repro.sim.backends`).  The environment still owns the
+semantics — eid assignment, the dispatch contract, the ``trace`` hook — and
+delegates storage and the inlined run loops to its backend:
 
-* **Bare heap tuples** — the heap holds ``(time, priority, seq, event)``
-  tuples; nothing is ever re-heapified or removed in place.
-* **Lazy cancellation** — :meth:`Event.cancel` marks an event dead by
-  dropping its callback list; the dispatch loop skips dead entries when they
-  surface at the heap top instead of paying O(n) removal.
-* **Specialized run loops** — :meth:`Environment.run` dispatches through one
-  of three inlined loops (drain / run-until-time / run-until-event) chosen
-  once up front, so the per-event cost is a heap pop plus the callbacks and
-  none of the per-event method calls or stop-condition re-derivations the
-  naive ``while: step()`` loop paid.
-* **Timeout free list** — :class:`~repro.sim.events.Timeout` is the dominant
-  event type (client pacing, OSS idle waits, OST completion checks).  After
-  dispatch, a timeout that provably has no remaining references outside the
-  engine (checked via ``sys.getrefcount``) is recycled through a per-
-  environment free list, so steady-state simulation allocates almost no
-  event objects.  ``Environment(reuse_timeouts=False)`` disables reuse; the
-  determinism suite asserts identical event traces either way.
+* ``"heap"`` (default): the PR 5 kernel — bare ``(time, priority, seq,
+  event)`` tuples on one ``heapq``, lazy cancellation, specialized run
+  loops, and the refcount-gated timeout free list
+  (``Environment(reuse_timeouts=False)`` disables reuse; the determinism
+  suite asserts identical event traces either way).
+* ``"array"``: a two-lane calendar (at-now FIFO + far heap) with batched
+  timeout insertion and leaner loops; see :class:`repro.sim.backends.
+  ArrayBackend` and docs/performance.md for when it wins.
+
+Every scheduling site routes through ``env._push`` — the backend-supplied
+insert callable — so backends fully control entry placement without the
+event types knowing which kernel is active.
 """
 
 from __future__ import annotations
 
-import heapq
-from heapq import heappush
 from sys import getrefcount
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Generator, Iterable, List, Optional, Sequence, Tuple
 
+from repro.sim.backends import (
+    _FREE_LIST_CAP,
+    PRIORITY_NORMAL,
+    PRIORITY_URGENT,
+    KernelBackend,
+    SimulationError,
+    resolve_backend,
+)
 from repro.sim.events import Event, Timeout
 from repro.sim.process import Process
 
 __all__ = ["Environment", "SimulationError", "PRIORITY_URGENT", "PRIORITY_NORMAL"]
-
-#: Priority for engine-internal wakeups that must precede user events.
-PRIORITY_URGENT = 0
-#: Default priority for ordinary events.
-PRIORITY_NORMAL = 1
-
-#: Upper bound on recycled Timeout objects kept per environment.  Enough to
-#: cover every concurrently pending timeout of a large cluster while keeping
-#: a drained environment's footprint bounded.
-_FREE_LIST_CAP = 4096
-
-
-class SimulationError(RuntimeError):
-    """Raised for engine misuse (e.g. running a finished simulation)."""
 
 
 class Environment:
@@ -74,6 +63,14 @@ class Environment:
         (default).  Reuse is gated on a refcount check, so a timeout anyone
         still holds a reference to is never recycled; disabling exists for
         the determinism tests, which assert traces match with it on and off.
+        (The array backend's fast loops skip recycling; the flag is still
+        honored on the single-step path.)
+    backend:
+        Kernel backend selecting the calendar implementation: a registered
+        name (``"heap"``, ``"array"``), a :class:`~repro.sim.backends.
+        KernelBackend` subclass, or ``None`` for the default. All backends
+        dispatch bit-identical ``(time, priority, seq, event)`` streams —
+        the choice is purely a performance knob.
 
     Notes
     -----
@@ -92,11 +89,17 @@ class Environment:
         "_dispatched",
         "_free_timeouts",
         "_reuse_timeouts",
+        "_push",
+        "_push_now",
+        "kernel",
         "trace",
     )
 
     def __init__(
-        self, initial_time: float = 0.0, reuse_timeouts: bool = True
+        self,
+        initial_time: float = 0.0,
+        reuse_timeouts: bool = True,
+        backend: Optional[str] = None,
     ) -> None:
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
@@ -105,6 +108,14 @@ class Environment:
         self._dispatched = 0
         self._free_timeouts: List[Timeout] = []
         self._reuse_timeouts = bool(reuse_timeouts)
+        #: The kernel backend owning calendar storage and the run loops.
+        self.kernel: KernelBackend = resolve_backend(backend)(self)
+        #: Backend-supplied insert callables; every scheduling site (including
+        #: the event types in :mod:`repro.sim.events`) pushes through these.
+        #: ``_push_now`` is reserved for entries statically known to be at
+        #: the current instant at normal priority (``succeed``/``fail``).
+        self._push = self.kernel.push
+        self._push_now = self.kernel.push_now
         #: Optional dispatch hook ``trace(time, priority, seq, event)`` —
         #: invoked for every dispatched event, in dispatch order.  Used by
         #: the determinism tests; leave ``None`` in production runs.
@@ -115,6 +126,11 @@ class Environment:
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def backend(self) -> str:
+        """Name of the active kernel backend."""
+        return self.kernel.name
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -129,12 +145,12 @@ class Environment:
 
     @property
     def scheduled(self) -> int:
-        """Total events scheduled so far (heap pushes).
+        """Total events scheduled so far (calendar inserts).
 
         The benchmark harness's events/sec numerator: the determinism
         invariant fixes the schedule sequence for a given workload, so this
-        count is identical across engine versions and the events/sec ratio
-        between two engines equals their wall-clock ratio.
+        count is identical across engine versions *and* backends, and the
+        events/sec ratio between two engines equals their wall-clock ratio.
         """
         return self._eid
 
@@ -159,9 +175,20 @@ class Environment:
             timeout._cancelled = False
             timeout.delay = delay = float(delay)
             self._eid = eid = self._eid + 1
-            heappush(self._queue, (self._now + delay, PRIORITY_NORMAL, eid, timeout))
+            self._push((self._now + delay, PRIORITY_NORMAL, eid, timeout))
             return timeout
         return Timeout(self, delay, value)
+
+    def timeouts(self, delays: Sequence[float], value: Any = None) -> List[Timeout]:
+        """Create one timeout per entry of ``delays``, in order.
+
+        Semantically identical to ``[env.timeout(d, value) for d in delays]``
+        — same eid assignment, same dispatch order — but backends may batch
+        the calendar insertion (the array backend stages the block and
+        restores the heap invariant once; see
+        :meth:`repro.sim.backends.ArrayBackend.batch_timeouts`).
+        """
+        return self.kernel.batch_timeouts(delays, value)
 
     def process(self, generator: Generator, name: Optional[str] = None) -> Process:
         """Spawn ``generator`` as a simulation process and return its handle."""
@@ -181,9 +208,9 @@ class Environment:
     def _schedule(
         self, event: Event, delay: float = 0.0, priority: int = PRIORITY_NORMAL
     ) -> None:
-        """Place a triggered event on the heap ``delay`` seconds from now."""
+        """Place a triggered event on the calendar ``delay`` seconds from now."""
         self._eid += 1
-        heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        self._push((self._now + delay, priority, self._eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled entry, or ``inf`` when idle.
@@ -191,23 +218,15 @@ class Environment:
         May report a lazily-cancelled entry's time; the run loops treat that
         conservatively (they pop it, see it is dead, and move on).
         """
-        return self._queue[0][0] if self._queue else float("inf")
+        return self.kernel.peek()
 
     def step(self) -> None:
         """Dispatch exactly one live event, advancing the clock to its time.
 
-        Lazily-cancelled entries surfacing at the heap top are discarded
+        Lazily-cancelled entries surfacing at the calendar head are discarded
         without counting as the dispatched event.
         """
-        queue = self._queue
-        while queue:
-            when, priority, seq, event = heapq.heappop(queue)
-            callbacks = event.callbacks
-            if callbacks is None:
-                continue  # lazily cancelled; never dispatched
-            self._dispatch(when, priority, seq, event, callbacks)
-            return
-        raise SimulationError("step() on an empty event queue")
+        self.kernel.step()
 
     def _dispatch(self, when, priority, seq, event, callbacks) -> None:
         """Deliver one popped event (the non-inlined, single-step path)."""
@@ -240,11 +259,11 @@ class Environment:
 
         Notes
         -----
-        This is the engine's hot loop: the stop condition is resolved once,
-        then one of three specialized dispatch loops runs with everything —
-        heap, pop, trace hook, free list — held in locals.  Each loop
-        preserves the exact ``(time, priority, seq)`` total order and the
-        exact per-event semantics of :meth:`step`.
+        The stop condition is resolved once, then the kernel backend runs
+        one of its specialized dispatch loops with everything — calendar,
+        pop, trace hook, free list — held in locals.  Each loop preserves
+        the exact ``(time, priority, seq)`` total order and the exact
+        per-event semantics of :meth:`step`.
         """
         stop_at: Optional[float] = None
         stop_event: Optional[Event] = None
@@ -262,172 +281,10 @@ class Environment:
                     f"run(until={stop_at}) is in the past (now={self._now})"
                 )
 
-        if self.trace is not None:
-            # Traced runs take the readable one-event-at-a-time path.
-            return self._run_traced(stop_at, stop_event)
-
-        queue = self._queue
-        pop = heapq.heappop
-        reuse = self._reuse_timeouts
-        free = self._free_timeouts
-        cap = _FREE_LIST_CAP
-        timeout_type = Timeout
-        refcount = getrefcount
-        dispatched = self._dispatched
-        try:
-            if stop_event is not None:
-                while queue and stop_event.callbacks is not None:
-                    when, _priority, _seq, event = pop(queue)
-                    callbacks = event.callbacks
-                    if callbacks is None:
-                        # Lazily-cancelled: skip, but recycle the carcass.
-                        if (
-                            reuse
-                            and type(event) is timeout_type
-                            and refcount(event) == 2
-                            and len(free) < cap
-                        ):
-                            event.callbacks = []
-                            free.append(event)
-                        continue
-                    self._now = when
-                    event.callbacks = None
-                    if len(callbacks) == 1:
-                        callbacks[0](event)
-                    else:
-                        for callback in callbacks:
-                            callback(event)
-                    dispatched += 1
-                    if not event._ok and not event._defused:
-                        raise event._value
-                    if (
-                        reuse
-                        and type(event) is timeout_type
-                        and refcount(event) == 2
-                        and len(free) < cap
-                    ):
-                        # Park the emptied callback list on the recycled
-                        # instance so reuse skips the list allocation too.
-                        callbacks.clear()
-                        event.callbacks = callbacks
-                        free.append(event)
-            elif stop_at is not None:
-                while True:
-                    if not queue or queue[0][0] > stop_at:
-                        self._now = stop_at
-                        break
-                    when, _priority, _seq, event = pop(queue)
-                    callbacks = event.callbacks
-                    if callbacks is None:
-                        # Lazily-cancelled: skip, but recycle the carcass.
-                        if (
-                            reuse
-                            and type(event) is timeout_type
-                            and refcount(event) == 2
-                            and len(free) < cap
-                        ):
-                            event.callbacks = []
-                            free.append(event)
-                        continue
-                    self._now = when
-                    event.callbacks = None
-                    if len(callbacks) == 1:
-                        callbacks[0](event)
-                    else:
-                        for callback in callbacks:
-                            callback(event)
-                    dispatched += 1
-                    if not event._ok and not event._defused:
-                        raise event._value
-                    if (
-                        reuse
-                        and type(event) is timeout_type
-                        and refcount(event) == 2
-                        and len(free) < cap
-                    ):
-                        # Park the emptied callback list on the recycled
-                        # instance so reuse skips the list allocation too.
-                        callbacks.clear()
-                        event.callbacks = callbacks
-                        free.append(event)
-            else:
-                while queue:
-                    when, _priority, _seq, event = pop(queue)
-                    callbacks = event.callbacks
-                    if callbacks is None:
-                        # Lazily-cancelled: skip, but recycle the carcass.
-                        if (
-                            reuse
-                            and type(event) is timeout_type
-                            and refcount(event) == 2
-                            and len(free) < cap
-                        ):
-                            event.callbacks = []
-                            free.append(event)
-                        continue
-                    self._now = when
-                    event.callbacks = None
-                    if len(callbacks) == 1:
-                        callbacks[0](event)
-                    else:
-                        for callback in callbacks:
-                            callback(event)
-                    dispatched += 1
-                    if not event._ok and not event._defused:
-                        raise event._value
-                    if (
-                        reuse
-                        and type(event) is timeout_type
-                        and refcount(event) == 2
-                        and len(free) < cap
-                    ):
-                        # Park the emptied callback list on the recycled
-                        # instance so reuse skips the list allocation too.
-                        callbacks.clear()
-                        event.callbacks = callbacks
-                        free.append(event)
-        finally:
-            self._dispatched = dispatched
-
-        if stop_event is not None:
-            if not stop_event.processed:
-                raise SimulationError(
-                    "run() ran out of events before the condition triggered"
-                )
-            if not stop_event.ok:
-                raise stop_event.value
-            return stop_event.value
-        return None
-
-    def _run_traced(
-        self, stop_at: Optional[float], stop_event: Optional[Event]
-    ) -> Any:
-        """The observable (hook-calling) run loop used when ``trace`` is set."""
-        queue = self._queue
-        while queue:
-            if stop_event is not None and stop_event.callbacks is None:
-                break
-            if stop_at is not None and queue[0][0] > stop_at:
-                self._now = stop_at
-                break
-            when, priority, seq, event = heapq.heappop(queue)
-            callbacks = event.callbacks
-            if callbacks is None:
-                continue
-            self._dispatch(when, priority, seq, event, callbacks)
-        else:
-            if stop_at is not None:
-                self._now = stop_at
-
-        if stop_event is not None:
-            if not stop_event.processed:
-                raise SimulationError(
-                    "run() ran out of events before the condition triggered"
-                )
-            if not stop_event.ok:
-                raise stop_event.value
-            return stop_event.value
-        return None
+        return self.kernel.run(stop_at, stop_event)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Environment now={self._now!r} pending={len(self._queue)}>"
+        return (
+            f"<Environment now={self._now!r} backend={self.kernel.name!r} "
+            f"pending={self.kernel.pending()}>"
+        )

@@ -27,7 +27,6 @@ A fourth, terminal state exists for wakeups that lost a race:
 
 from __future__ import annotations
 
-from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -123,7 +122,7 @@ class Event:
         self._value = value
         env = self.env
         env._eid = eid = env._eid + 1
-        heappush(env._queue, (env._now, _PRIORITY_NORMAL, eid, self))
+        env._push_now((env._now, _PRIORITY_NORMAL, eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -136,7 +135,7 @@ class Event:
         self._value = exception
         env = self.env
         env._eid = eid = env._eid + 1
-        heappush(env._queue, (env._now, _PRIORITY_NORMAL, eid, self))
+        env._push_now((env._now, _PRIORITY_NORMAL, eid, self))
         return self
 
     def defused(self) -> None:
@@ -207,7 +206,7 @@ class Timeout(Event):
         self._cancelled = False
         self.delay = delay = float(delay)
         env._eid = eid = env._eid + 1
-        heappush(env._queue, (env._now + delay, _PRIORITY_NORMAL, eid, self))
+        env._push((env._now + delay, _PRIORITY_NORMAL, eid, self))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Timeout delay={self.delay!r}>"

@@ -11,7 +11,13 @@ from __future__ import annotations
 import hashlib
 from typing import Dict
 
-import numpy as np
+try:  # pragma: no cover - exercised via the no-numpy CI leg
+    import numpy as np
+except ImportError:  # pragma: no cover
+    # The simulation kernel runs without numpy (see repro.sim.backends);
+    # only actually *drawing* from a stochastic stream requires it, so the
+    # import is deferred to first use rather than poisoning `import repro.sim`.
+    np = None
 
 __all__ = ["RngStreams"]
 
@@ -38,10 +44,15 @@ class RngStreams:
         if not isinstance(seed, int):
             raise TypeError(f"seed must be an int, got {type(seed).__name__}")
         self.seed = seed
-        self._streams: Dict[str, np.random.Generator] = {}
+        self._streams: Dict[str, "np.random.Generator"] = {}
 
-    def get(self, name: str) -> np.random.Generator:
+    def get(self, name: str) -> "np.random.Generator":
         """Return the (cached) generator for ``name``."""
+        if np is None:
+            raise ImportError(
+                "stochastic streams require numpy (install repro[fast]); "
+                "the simulation kernel itself runs without it"
+            )
         if name not in self._streams:
             self._streams[name] = np.random.default_rng(self._derive(name))
         return self._streams[name]

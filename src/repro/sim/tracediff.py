@@ -1,0 +1,176 @@
+"""Cross-backend event-trace differ.
+
+The kernel backends (:mod:`repro.sim.backends`) promise to dispatch the
+exact same ``(time, priority, seq, event)`` stream for a given workload —
+that promise is the entire correctness argument for switching backends.
+This module turns it into a checkable artifact: run a scenario once per
+backend with the engine's ``trace`` hook attached, and report the first
+dispatch where the streams diverge (with context), or a clean bill.
+
+Used three ways:
+
+* the backend-parity tests (``tests/sim/test_backends.py``) assert
+  :func:`diff_backends` comes back clean on the quickstart / multiost /
+  burst-storm scenarios;
+* ``examples/profiling_walkthrough.py --diff`` gives the same check as a
+  command-line smoke test;
+* when developing a new backend, :func:`format_report` pinpoints the first
+  divergent dispatch instead of leaving you bisecting CSVs.
+
+Events are keyed by ``(time, priority, seq, type-name)``; the object
+identity of the event necessarily differs between two runs, but under the
+engine's determinism invariant the sequence numbers fix the schedule, so a
+type-level match at every seq is exactly as strong as object-level
+equality within one run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "TraceEntry",
+    "Divergence",
+    "DiffReport",
+    "trace_scenario",
+    "first_divergence",
+    "diff_backends",
+    "format_report",
+]
+
+#: One dispatched event: ``(time, priority, seq, event type name)``.
+TraceEntry = Tuple[float, int, int, str]
+
+#: Context lines shown on each side of a divergence.
+_CONTEXT = 3
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first position where two dispatch streams disagree."""
+
+    #: Index into the dispatch streams (0-based).
+    index: int
+    #: Entry of the first stream at ``index`` (None when it ended early).
+    left: Optional[TraceEntry]
+    #: Entry of the second stream at ``index`` (None when it ended early).
+    right: Optional[TraceEntry]
+
+
+@dataclass(frozen=True)
+class DiffReport:
+    """Outcome of comparing one scenario under two backends."""
+
+    scenario: str
+    backends: Tuple[str, str]
+    counts: Tuple[int, int]
+    divergence: Optional[Divergence]
+    #: A few entries before/after the divergence from each stream, for
+    #: human consumption via :func:`format_report`.
+    context: Tuple[Sequence[TraceEntry], Sequence[TraceEntry]] = ((), ())
+
+    @property
+    def equal(self) -> bool:
+        return self.divergence is None
+
+
+def trace_scenario(scenario, backend: str) -> List[TraceEntry]:
+    """Run ``scenario`` under ``backend`` and return its dispatch stream.
+
+    ``scenario`` is a registered scenario name or a built
+    :class:`~repro.scenarios.spec.ScenarioSpec`.  The spec's own backend
+    selection is overridden by ``backend``.
+    """
+    # Local imports: tracediff sits in the sim layer but drives the full
+    # scenario stack; importing lazily keeps the engine import-light.
+    from repro.cluster.builder import build
+    from repro.cluster.experiment import execute
+    from repro.scenarios import REGISTRY
+    from repro.scenarios.spec import ScenarioSpec
+
+    if isinstance(scenario, str):
+        spec = REGISTRY.build(scenario)
+    elif isinstance(scenario, ScenarioSpec):
+        spec = scenario
+    else:
+        raise TypeError(
+            f"scenario must be a name or ScenarioSpec, got {scenario!r}"
+        )
+    spec = spec.with_run(backend=backend)
+
+    cluster = build(spec)
+    entries: List[TraceEntry] = []
+    append = entries.append
+    cluster.env.trace = lambda when, priority, seq, event: append(
+        (when, priority, seq, type(event).__name__)
+    )
+    execute(cluster)
+    return entries
+
+
+def first_divergence(
+    left: Sequence[TraceEntry], right: Sequence[TraceEntry]
+) -> Optional[Divergence]:
+    """First index where two dispatch streams disagree, or None.
+
+    A stream that is a strict prefix of the other diverges at the shorter
+    stream's length (the missing side is reported as ``None``).
+    """
+    for index, (a, b) in enumerate(zip(left, right)):
+        if a != b:
+            return Divergence(index=index, left=a, right=b)
+    if len(left) != len(right):
+        index = min(len(left), len(right))
+        return Divergence(
+            index=index,
+            left=left[index] if index < len(left) else None,
+            right=right[index] if index < len(right) else None,
+        )
+    return None
+
+
+def diff_backends(
+    scenario,
+    backends: Tuple[str, str] = ("heap", "array"),
+) -> DiffReport:
+    """Run ``scenario`` under two backends and compare dispatch streams."""
+    name = scenario if isinstance(scenario, str) else scenario.name
+    left = trace_scenario(scenario, backends[0])
+    right = trace_scenario(scenario, backends[1])
+    divergence = first_divergence(left, right)
+    context: Tuple[Sequence[TraceEntry], Sequence[TraceEntry]] = ((), ())
+    if divergence is not None:
+        lo = max(0, divergence.index - _CONTEXT)
+        hi = divergence.index + _CONTEXT + 1
+        context = (tuple(left[lo:hi]), tuple(right[lo:hi]))
+    return DiffReport(
+        scenario=name,
+        backends=backends,
+        counts=(len(left), len(right)),
+        divergence=divergence,
+        context=context,
+    )
+
+
+def format_report(report: DiffReport) -> str:
+    """Human-readable rendering of a :class:`DiffReport`."""
+    a, b = report.backends
+    if report.equal:
+        return (
+            f"{report.scenario}: {a} and {b} dispatched identical streams "
+            f"({report.counts[0]} events)"
+        )
+    div = report.divergence
+    lines = [
+        f"{report.scenario}: {a} and {b} DIVERGE at dispatch #{div.index}",
+        f"  {a}: {div.left!r}  (stream length {report.counts[0]})",
+        f"  {b}: {div.right!r}  (stream length {report.counts[1]})",
+    ]
+    left_ctx, right_ctx = report.context
+    if left_ctx or right_ctx:
+        lines.append(f"  context ({a}):")
+        lines.extend(f"    {entry!r}" for entry in left_ctx)
+        lines.append(f"  context ({b}):")
+        lines.extend(f"    {entry!r}" for entry in right_ctx)
+    return "\n".join(lines)

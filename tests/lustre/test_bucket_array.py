@@ -1,0 +1,245 @@
+"""BucketArray/BucketView parity with TokenBucket — *exact* float equality.
+
+The bank's whole claim is that switching a TBF scheduler from standalone
+:class:`TokenBucket` objects to one struct-of-arrays bank changes nothing
+observable: every view operation uses the verbatim scalar expressions, and
+every batch operation orders its float64 arithmetic identically to the
+scalar loop.  So these tests compare with ``==`` on floats, never
+``approx`` — one ULP of drift here becomes a diverged event trace upstream.
+"""
+
+import pytest
+
+import repro.lustre.bucket as bucket_mod
+from repro.lustre.bucket import _VECTOR_MIN, BucketArray, BucketView, TokenBucket
+
+
+def mixed_op_sequence():
+    """A deterministic accrual/consume/set_rate/drain gauntlet.
+
+    Yields (method, args) pairs covering every mutating and observing
+    operation at awkward times (rate changes mid-accrual, consume at the
+    depth cap, drain then refill from zero).
+    """
+    return [
+        ("tokens_at", (0.0,)),
+        ("try_consume", (0.1, 1)),
+        ("try_consume", (0.1, 2)),
+        ("ready_at", (0.15, 3)),
+        ("set_rate", (0.2, 7.5)),
+        ("try_consume", (0.3, 1)),
+        ("tokens_at", (0.4,)),
+        ("drain", (0.5,)),
+        ("ready_at", (0.5, 1)),
+        ("try_consume", (0.55, 1)),
+        ("set_rate", (0.6, 0.0)),
+        ("ready_at", (0.7, 1)),
+        ("set_rate", (0.8, 123.456)),
+        ("try_consume", (0.81, 3)),
+        ("tokens_at", (0.9,)),
+        ("drain", (1.0,)),
+    ]
+
+
+def run_sequence(bucket):
+    return [getattr(bucket, op)(*args) for op, args in mixed_op_sequence()]
+
+
+class TestViewScalarParity:
+    def test_mixed_sequence_bit_identical(self):
+        scalar = TokenBucket(rate=5.0, depth=3.0, now=0.0)
+        view = BucketArray().add(rate=5.0, depth=3.0, now=0.0)
+        assert run_sequence(view) == run_sequence(scalar)
+        # Final internal state agrees exactly too.
+        assert view.tokens_at(1.5) == scalar.tokens_at(1.5)
+        assert view.rate == scalar.rate
+        assert view.depth == scalar.depth
+
+    def test_parity_across_heterogeneous_bank(self):
+        bank = BucketArray()
+        configs = [
+            dict(rate=1.0, depth=3.0),
+            dict(rate=977.31, depth=5.0, tokens=0.25),
+            dict(rate=0.0, depth=1.0, tokens=0.0),
+            dict(rate=1e6, depth=64.0),
+        ]
+        pairs = [
+            (TokenBucket(now=0.0, **cfg), bank.add(now=0.0, **cfg))
+            for cfg in configs
+        ]
+        for scalar, view in pairs:
+            assert run_sequence(view) == run_sequence(scalar)
+
+    def test_view_interleaving_does_not_cross_talk(self):
+        bank = BucketArray()
+        a, b = bank.add(rate=2.0), bank.add(rate=50.0)
+        sa, sb = TokenBucket(rate=2.0), TokenBucket(rate=50.0)
+        # Interleave operations on the two slots.
+        for now in (0.1, 0.2, 0.3, 0.4):
+            assert a.try_consume(now) == sa.try_consume(now)
+            assert b.try_consume(now, 2) == sb.try_consume(now, 2)
+        assert a.tokens_at(0.5) == sa.tokens_at(0.5)
+        assert b.tokens_at(0.5) == sb.tokens_at(0.5)
+
+    def test_validation_matches_token_bucket(self):
+        bank = BucketArray()
+        for kwargs in (
+            dict(rate=-1.0),
+            dict(rate=1.0, depth=0.0),
+            dict(rate=1.0, tokens=-0.5),
+        ):
+            with pytest.raises(ValueError):
+                TokenBucket(**kwargs)
+            with pytest.raises(ValueError):
+                bank.add(**kwargs)
+
+    def test_error_paths_match(self):
+        scalar = TokenBucket(rate=1.0, now=5.0)
+        view = BucketArray().add(rate=1.0, now=5.0)
+        for target in (scalar, view):
+            with pytest.raises(ValueError, match="time went backwards"):
+                target.tokens_at(1.0)
+            with pytest.raises(ValueError, match="n must be positive"):
+                target.try_consume(6.0, 0)
+            with pytest.raises(ValueError, match="rate must be"):
+                target.set_rate(6.0, -2.0)
+        # Over-depth requests are impossible, not an error.
+        assert scalar.ready_at(6.0, 99) == view.ready_at(6.0, 99)
+
+    def test_view_accessor_and_bounds(self):
+        bank = BucketArray()
+        bank.add(rate=1.0)
+        bank.add(rate=2.0)
+        assert len(bank) == 2
+        assert isinstance(bank.view(0), BucketView)
+        assert bank.view(-1).rate == 2.0
+        with pytest.raises(IndexError):
+            bank.view(2)
+        with pytest.raises(IndexError):
+            bank.view(-3)
+
+
+def make_parallel_banks(n, seed=7):
+    """A bank of n buckets plus matching standalone TokenBuckets."""
+    bank = BucketArray()
+    scalars = []
+    for i in range(n):
+        rate = ((i * seed) % 23) * 41.5 + (i % 3)  # includes rate-0 slots
+        depth = 1.0 + (i % 5)
+        tokens = None if i % 2 else depth / 3.0
+        scalars.append(TokenBucket(rate, depth=depth, tokens=tokens, now=0.0))
+        bank.add(rate, depth=depth, tokens=tokens, now=0.0)
+    return bank, scalars
+
+
+# Both sides of the vector threshold: the scalar-fallback and numpy paths
+# must agree with the standalone loop bit-for-bit.
+@pytest.mark.parametrize("n", [_VECTOR_MIN - 1, 4 * _VECTOR_MIN])
+class TestBatchOps:
+    def test_sync_all_matches_scalar_loop(self, n):
+        bank, scalars = make_parallel_banks(n)
+        for scalar in scalars:
+            scalar._sync(0.37)
+        bank.sync_all(0.37)
+        for i, scalar in enumerate(scalars):
+            assert bank.view(i).tokens_at(0.37) == scalar.tokens_at(0.37)
+            assert bank._tokens[i] == scalar._tokens
+            assert bank._lasts[i] == scalar._last
+
+    def test_set_rates_matches_scalar_loop(self, n):
+        bank, scalars = make_parallel_banks(n)
+        updates = [(i, (i % 7) * 13.25) for i in range(n)]
+        for i, rate in updates:
+            scalars[i].set_rate(0.21, rate)
+        bank.set_rates(0.21, updates)
+        for i, scalar in enumerate(scalars):
+            view = bank.view(i)
+            assert view.rate == scalar.rate
+            assert view.tokens_at(0.5) == scalar.tokens_at(0.5)
+
+    def test_tokens_all_matches_scalar(self, n):
+        bank, scalars = make_parallel_banks(n)
+        assert bank.tokens_all(0.42) == [
+            scalar.tokens_at(0.42) for scalar in scalars
+        ]
+        # Non-mutating: a second read at the same instant is unchanged.
+        assert bank.tokens_all(0.42) == bank.tokens_all(0.42)
+
+    def test_batch_time_backwards_rejected(self, n):
+        bank, _ = make_parallel_banks(n)
+        bank.sync_all(1.0)
+        for call in (
+            lambda: bank.sync_all(0.5),
+            lambda: bank.set_rates(0.5, [(0, 1.0)]),
+            lambda: bank.tokens_all(0.5),
+        ):
+            with pytest.raises(ValueError, match="time went backwards"):
+                call()
+
+    def test_set_rates_validates_before_mutating(self, n):
+        bank, scalars = make_parallel_banks(n)
+        before = list(bank._rates)
+        with pytest.raises(ValueError, match="rate must be"):
+            bank.set_rates(0.1, [(0, 1.0), (1, -5.0)])
+        with pytest.raises(IndexError):
+            bank.set_rates(0.1, [(0, 1.0), (n + 3, 1.0)])
+        assert list(bank._rates) == before  # nothing partially applied
+
+
+class TestNumpyFallback:
+    """The batch ops must produce identical results with numpy absent."""
+
+    @pytest.fixture
+    def no_numpy(self, monkeypatch):
+        monkeypatch.setattr(bucket_mod, "_np", None)
+
+    def test_sync_all_scalar_fallback(self, no_numpy):
+        n = 4 * _VECTOR_MIN
+        bank, scalars = make_parallel_banks(n)
+        bank.sync_all(0.37)
+        for i, scalar in enumerate(scalars):
+            scalar._sync(0.37)
+            assert bank._tokens[i] == scalar._tokens
+
+    def test_set_rates_scalar_fallback(self, no_numpy):
+        n = 4 * _VECTOR_MIN
+        bank, scalars = make_parallel_banks(n)
+        updates = [(i, float(i)) for i in range(n)]
+        bank.set_rates(0.3, updates)
+        for i, scalar in enumerate(scalars):
+            scalar.set_rate(0.3, float(i))
+            assert bank.view(i).tokens_at(0.6) == scalar.tokens_at(0.6)
+
+    def test_tokens_all_scalar_fallback(self, no_numpy):
+        n = 4 * _VECTOR_MIN
+        bank, scalars = make_parallel_banks(n)
+        assert bank.tokens_all(0.42) == [
+            scalar.tokens_at(0.42) for scalar in scalars
+        ]
+
+
+class TestSchedulerIntegration:
+    """The bank plugs into TbfScheduler without changing its behaviour."""
+
+    def test_tbf_scheduler_accepts_bank(self):
+        from repro.lustre.tbf import TbfRule, TbfScheduler
+
+        banked = TbfScheduler(bucket_bank=BucketArray())
+        plain = TbfScheduler()
+        banked.start_rule(0.0, TbfRule(name="r0", job_id="job", rate=100.0))
+        plain.start_rule(0.0, TbfRule(name="r0", job_id="job", rate=100.0))
+        banked_bucket = banked._by_job["job"].bucket
+        plain_bucket = plain._by_job["job"].bucket
+        assert isinstance(banked_bucket, BucketView)
+        assert isinstance(plain_bucket, TokenBucket)
+        for now in (0.01, 0.02, 0.5):
+            assert banked_bucket.try_consume(now) == plain_bucket.try_consume(
+                now
+            )
+
+    def test_array_backend_policy_gets_bank(self):
+        from repro.lustre.nrs import TbfPolicy
+        from repro.sim.engine import Environment
+
+        assert TbfPolicy(Environment(backend="array")).scheduler._bank is not None
+        assert TbfPolicy(Environment(backend="heap")).scheduler._bank is None

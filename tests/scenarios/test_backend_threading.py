@@ -1,0 +1,107 @@
+"""Backend selection threaded through the declarative pipeline.
+
+``RunSpec.backend`` → builder → CLI → campaign axis: the selector must
+arrive at the Environment from every entry point, and — the point of the
+whole seam — must never change a result: figure CSVs are byte-identical
+across backends.
+"""
+
+import pytest
+
+from repro.cluster.builder import build
+from repro.scenarios import REGISTRY, run_scenario
+from repro.scenarios.spec import RunSpec
+from repro.sim.engine import Environment
+
+
+class TestRunSpec:
+    def test_default_backend_is_heap(self):
+        assert RunSpec().backend == "heap"
+
+    def test_backend_field_round_trips(self):
+        assert RunSpec(backend="array").backend == "array"
+
+    def test_unknown_backend_rejected_listing_available(self):
+        with pytest.raises(ValueError, match="heap"):
+            RunSpec(backend="btree")
+
+    def test_with_run_threads_backend(self):
+        spec = REGISTRY.build("quickstart").with_run(backend="array")
+        assert spec.run.backend == "array"
+        # Other run fields are preserved.
+        assert spec.run.duration_s == REGISTRY.build("quickstart").run.duration_s
+
+
+class TestBuilder:
+    def test_build_uses_spec_backend(self):
+        spec = REGISTRY.build("quickstart").with_run(backend="array")
+        assert build(spec).env.backend == "array"
+
+    def test_explicit_env_wins_over_spec(self):
+        spec = REGISTRY.build("quickstart").with_run(backend="array")
+        env = Environment()  # caller-configured: heap
+        assert build(spec, env=env).env is env
+
+
+class TestCampaignAxis:
+    def test_backend_axis_resolves_into_run_spec(self):
+        from repro.campaigns.spec import CampaignSpec, ParameterAxis
+
+        campaign = CampaignSpec(
+            name="backend-sweep",
+            scenario="quickstart",
+            axes=(ParameterAxis("backend", ("heap", "array")),),
+        )
+        cells = campaign.cells()
+        assert [campaign.resolve(c).run.backend for c in cells] == [
+            "heap",
+            "array",
+        ]
+        # The reserved param never reaches the scenario factory.
+        for cell in cells:
+            assert "backend" in campaign.build_params(cell)
+
+
+class TestCli:
+    def test_run_backend_flag(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert (
+            main(
+                ["run", "quickstart", "--backend", "array", "--duration", "0.3"]
+            )
+            == 0
+        )
+        assert "quickstart" in capsys.readouterr().out
+
+    def test_run_unknown_backend_flag_errors(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit, match="unknown kernel backend"):
+            main(["run", "quickstart", "--backend", "btree"])
+
+    def test_figure_adapters_reject_backend_flag(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit, match="registered scenarios"):
+            main(["run", "fig3", "--backend", "array"])
+
+
+class TestCsvByteIdentity:
+    def test_quickstart_csvs_identical_across_backends(self, tmp_path):
+        from repro.metrics.export import export_all
+
+        written = {}
+        for backend in ("heap", "array"):
+            spec = REGISTRY.build("quickstart").with_run(
+                duration_s=1.0, backend=backend
+            )
+            result = run_scenario(spec)
+            out = tmp_path / backend
+            written[backend] = export_all(
+                {result.mechanism: result}, out, prefix="quickstart"
+            )
+        assert written["heap"].keys() == written["array"].keys()
+        for key, heap_path in written["heap"].items():
+            array_path = written["array"][key]
+            assert heap_path.read_bytes() == array_path.read_bytes(), key

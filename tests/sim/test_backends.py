@@ -1,0 +1,307 @@
+"""The kernel-backend seam: registry, selection, and cross-backend parity.
+
+The backends promise one thing above all: for a given workload, every
+backend dispatches the exact same ``(time, priority, seq)`` stream.  These
+tests pin that promise at three levels — pure-engine micro workloads with
+the ``trace`` hook, full scenarios through :mod:`repro.sim.tracediff`, and
+the array calendar's own edge cases (two-lane ordering, lazy cancellation,
+batched timeout insertion).
+"""
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+from repro.sim.backends import (
+    ArrayBackend,
+    HeapBackend,
+    KernelBackend,
+    BACKENDS,
+    available_backends,
+    register_backend,
+    resolve_backend,
+)
+
+ALL_BACKENDS = available_backends()
+
+
+# -- registry ----------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_available_backends_lists_default_first(self):
+        names = available_backends()
+        assert names[0] == "heap"
+        assert "array" in names
+
+    def test_resolve_by_name(self):
+        assert resolve_backend("heap") is HeapBackend
+        assert resolve_backend("array") is ArrayBackend
+
+    def test_resolve_none_gives_default(self):
+        assert resolve_backend(None) is HeapBackend
+
+    def test_resolve_class_passthrough(self):
+        assert resolve_backend(ArrayBackend) is ArrayBackend
+
+    def test_resolve_unknown_name_lists_available(self):
+        with pytest.raises(ValueError, match="heap"):
+            resolve_backend("btree")
+
+    def test_register_rejects_duplicate_name(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("heap", HeapBackend)
+
+    def test_register_rejects_non_backend(self):
+        with pytest.raises(TypeError):
+            register_backend("bogus", dict)
+
+    def test_register_and_resolve_custom_backend(self):
+        class Custom(HeapBackend):
+            name = "custom-test-kernel"
+
+        register_backend("custom-test-kernel", Custom)
+        try:
+            assert resolve_backend("custom-test-kernel") is Custom
+            env = Environment(backend="custom-test-kernel")
+            assert isinstance(env.kernel, Custom)
+        finally:
+            del BACKENDS["custom-test-kernel"]
+
+
+# -- selection ---------------------------------------------------------------
+
+
+class TestSelection:
+    def test_default_backend_is_heap(self):
+        env = Environment()
+        assert env.backend == "heap"
+        assert isinstance(env.kernel, HeapBackend)
+
+    def test_array_backend_selected_by_name(self):
+        env = Environment(backend="array")
+        assert env.backend == "array"
+        assert isinstance(env.kernel, ArrayBackend)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            Environment(backend="btree")
+
+    def test_repr_names_the_backend(self):
+        assert "array" in repr(Environment(backend="array"))
+
+    def test_kernel_base_is_abstract(self):
+        env = Environment()
+        base = KernelBackend(env)
+        for call in (base.peek, base.pending, base.step):
+            with pytest.raises(NotImplementedError):
+                call()
+
+
+# -- behavioural parity on pure-engine workloads -----------------------------
+
+
+def _traced_run(backend: str, setup) -> list:
+    """Run ``setup(env)`` to exhaustion and return the dispatch stream."""
+    env = Environment(backend=backend)
+    entries = []
+    env.trace = lambda when, priority, seq, event: entries.append(
+        (when, priority, seq, type(event).__name__)
+    )
+    setup(env)
+    env.run()
+    return entries
+
+
+def _handoff_mesh(env):
+    """Succeed-chains + timers: exercises both array lanes heavily."""
+
+    def producer(mailbox):
+        for k in range(40):
+            yield env.timeout(0.001 + (k % 3) * 0.0005)
+            mailbox.pop().succeed(k)
+
+    def consumer(mailbox):
+        for _ in range(40):
+            box = env.event()
+            mailbox.append(box)
+            yield box
+
+    for _ in range(10):
+        mailbox = []
+        env.process(consumer(mailbox))
+        env.process(producer(mailbox))
+
+
+def _condition_fan(env):
+    def waiter(i):
+        for _ in range(12):
+            events = [env.timeout(0.001 + (j % 3) * 0.0007) for j in range(6)]
+            yield env.any_of(events)
+            yield env.all_of(events)
+
+    for i in range(8):
+        env.process(waiter(i))
+
+
+@pytest.mark.parametrize("setup", [_handoff_mesh, _condition_fan])
+def test_dispatch_streams_identical_across_backends(setup):
+    streams = {b: _traced_run(b, setup) for b in ALL_BACKENDS}
+    reference = streams["heap"]
+    assert len(reference) > 100
+    for backend, stream in streams.items():
+        assert stream == reference, f"{backend} diverged from heap"
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+class TestBackendBehaviour:
+    def test_same_time_events_fire_in_creation_order(self, backend):
+        env = Environment(backend=backend)
+        order = []
+        for tag in ("a", "b", "c"):
+            env.timeout(1.0).add_callback(lambda e, t=tag: order.append(t))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_succeed_now_fires_before_later_timeout(self, backend):
+        env = Environment(backend=backend)
+        order = []
+        env.timeout(0.5).add_callback(lambda e: order.append("later"))
+        event = env.event()
+        event.add_callback(lambda e: order.append("now"))
+        event.succeed()
+        env.run()
+        assert order == ["now", "later"]
+
+    def test_run_until_time_settles_clock(self, backend):
+        env = Environment(backend=backend)
+        env.timeout(10.0)
+        env.run(until=4.0)
+        assert env.now == 4.0
+
+    def test_run_until_time_with_empty_calendar(self, backend):
+        env = Environment(backend=backend)
+        env.run(until=7.0)
+        assert env.now == 7.0
+
+    def test_run_out_of_events_before_condition_raises(self, backend):
+        env = Environment(backend=backend)
+        with pytest.raises(SimulationError, match="ran out of events"):
+            env.run(until=env.event())
+
+    def test_step_on_empty_calendar_raises(self, backend):
+        env = Environment(backend=backend)
+        with pytest.raises(SimulationError):
+            env.step()
+
+    def test_peek_and_step_across_lanes(self, backend):
+        env = Environment(backend=backend)
+        order = []
+        env.timeout(2.0).add_callback(lambda e: order.append("far"))
+        event = env.event()
+        event.add_callback(lambda e: order.append("now"))
+        event.succeed()  # at-now entry (the array backend's FIFO lane)
+        assert env.peek() == 0.0
+        env.step()
+        assert order == ["now"]
+        assert env.peek() == 2.0
+        env.step()
+        assert order == ["now", "far"]
+
+    def test_lazy_cancellation_skipped_in_calendar(self, backend):
+        env = Environment(backend=backend)
+        fired = []
+        first = env.timeout(1.0)
+        first.add_callback(lambda e: fired.append("cancelled"))
+        env.timeout(2.0).add_callback(lambda e: fired.append("kept"))
+        first.cancel()
+        env.run()
+        assert fired == ["kept"]
+        assert env.now == 2.0
+
+    def test_cancelled_at_now_entry_skipped(self, backend):
+        env = Environment(backend=backend)
+        fired = []
+        event = env.event()
+        event.add_callback(lambda e: fired.append("dead"))
+        event.succeed()
+        event.cancel()
+        env.timeout(0.5).add_callback(lambda e: fired.append("live"))
+        env.run()
+        assert fired == ["live"]
+
+    def test_reuse_timeouts_recycles_objects(self, backend):
+        env = Environment(backend=backend, reuse_timeouts=True)
+
+        def churner():
+            for _ in range(50):
+                yield env.timeout(0.01)
+
+        env.process(churner())
+        env.run()
+        assert env._free_timeouts  # the free list actually filled
+
+    def test_reuse_disabled_matches_stream(self, backend):
+        plain = _traced_run(backend, _handoff_mesh)
+        env = Environment(backend=backend, reuse_timeouts=False)
+        entries = []
+        env.trace = lambda when, priority, seq, event: entries.append(
+            (when, priority, seq, type(event).__name__)
+        )
+        _handoff_mesh(env)
+        env.run()
+        assert entries == plain
+
+
+# -- batched timeout insertion ----------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+@pytest.mark.parametrize("n", [3, 64])  # below and above the vector threshold
+class TestBatchTimeouts:
+    def test_batch_matches_loop_semantics(self, backend, n):
+        delays = [0.001 * ((i * 7) % 13 + 1) for i in range(n)]
+
+        def batch_setup(env):
+            for timeout in env.timeouts(delays, value="x"):
+                timeout.add_callback(lambda e: None)
+
+        def loop_setup(env):
+            for delay in delays:
+                env.timeout(delay, "x").add_callback(lambda e: None)
+
+        assert _traced_run(backend, batch_setup) == _traced_run(
+            backend, loop_setup
+        )
+
+    def test_batch_preserves_creation_order_on_ties(self, backend, n):
+        env = Environment(backend=backend)
+        order = []
+        timeouts = env.timeouts([0.5] * n)
+        for i, timeout in enumerate(timeouts):
+            timeout.add_callback(lambda e, i=i: order.append(i))
+        env.run()
+        assert order == list(range(n))
+        assert [t.delay for t in timeouts] == [0.5] * n
+
+    def test_negative_delay_rejected(self, backend, n):
+        env = Environment(backend=backend)
+        delays = [0.1] * (n - 1) + [-0.1]
+        with pytest.raises(ValueError, match="negative timeout delay"):
+            env.timeouts(delays)
+
+
+# -- full-scenario parity (the tracediff contract) ---------------------------
+
+
+@pytest.mark.parametrize(
+    "scenario, duration",
+    [("quickstart", 1.0), ("multiost", 0.5), ("burst-storm", 0.5)],
+)
+def test_scenarios_dispatch_identical_streams(scenario, duration):
+    from repro.scenarios import REGISTRY
+    from repro.sim.tracediff import diff_backends, format_report
+
+    spec = REGISTRY.build(scenario).with_run(duration_s=duration)
+    report = diff_backends(spec)
+    assert report.equal, format_report(report)
+    assert report.counts[0] > 1000  # the run actually did work

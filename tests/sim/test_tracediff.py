@@ -1,0 +1,106 @@
+"""Unit tests for the cross-backend trace differ (pure comparison logic).
+
+The heavyweight end-to-end use — running real scenarios under both
+backends — lives in ``test_backends.py``; here the divergence detection
+and report formatting are pinned on hand-built streams.
+"""
+
+import pytest
+
+from repro.sim.tracediff import (
+    DiffReport,
+    Divergence,
+    diff_backends,
+    first_divergence,
+    format_report,
+    trace_scenario,
+)
+
+
+def entry(t, seq, name="Timeout"):
+    return (t, 1, seq, name)
+
+
+class TestFirstDivergence:
+    def test_equal_streams(self):
+        stream = [entry(0.1, 1), entry(0.2, 2)]
+        assert first_divergence(stream, list(stream)) is None
+
+    def test_empty_streams_are_equal(self):
+        assert first_divergence([], []) is None
+
+    def test_mismatched_entry_reported_at_index(self):
+        left = [entry(0.1, 1), entry(0.2, 2), entry(0.3, 3)]
+        right = [entry(0.1, 1), entry(0.2, 2, "Event"), entry(0.3, 3)]
+        div = first_divergence(left, right)
+        assert div == Divergence(index=1, left=left[1], right=right[1])
+
+    def test_prefix_diverges_at_shorter_length(self):
+        left = [entry(0.1, 1)]
+        right = [entry(0.1, 1), entry(0.2, 2)]
+        div = first_divergence(left, right)
+        assert div == Divergence(index=1, left=None, right=right[1])
+
+    def test_prefix_other_direction(self):
+        left = [entry(0.1, 1), entry(0.2, 2)]
+        div = first_divergence(left, [entry(0.1, 1)])
+        assert div == Divergence(index=1, left=left[1], right=None)
+
+
+class TestFormatReport:
+    def _report(self, divergence, counts=(3, 3), context=((), ())):
+        return DiffReport(
+            scenario="demo",
+            backends=("heap", "array"),
+            counts=counts,
+            divergence=divergence,
+            context=context,
+        )
+
+    def test_clean_report(self):
+        report = self._report(None)
+        assert report.equal
+        text = format_report(report)
+        assert "identical streams" in text
+        assert "demo" in text
+
+    def test_divergent_report_names_index_and_sides(self):
+        div = Divergence(index=1, left=entry(0.2, 2), right=entry(0.3, 2))
+        report = self._report(
+            div, counts=(3, 4), context=((entry(0.1, 1),), (entry(0.1, 1),))
+        )
+        assert not report.equal
+        text = format_report(report)
+        assert "DIVERGE at dispatch #1" in text
+        assert "stream length 3" in text
+        assert "stream length 4" in text
+        assert "context (heap)" in text
+        assert "context (array)" in text
+
+
+class TestTraceScenario:
+    def test_rejects_non_scenario(self):
+        with pytest.raises(TypeError, match="name or ScenarioSpec"):
+            trace_scenario(42, "heap")
+
+    def test_spec_backend_is_overridden(self):
+        # A spec pinned to one backend still runs under the requested one;
+        # identical streams from the two calls double as a parity check.
+        from repro.scenarios import REGISTRY
+
+        spec = REGISTRY.build("quickstart").with_run(
+            duration_s=0.2, backend="array"
+        )
+        left = trace_scenario(spec, "heap")
+        right = trace_scenario(spec, "array")
+        assert left and left == right
+
+    def test_diff_backends_reports_scenario_name(self):
+        from repro.scenarios import REGISTRY
+
+        spec = REGISTRY.build("quickstart").with_run(duration_s=0.2)
+        report = diff_backends(spec)
+        assert report.scenario == "quickstart"
+        assert report.backends == ("heap", "array")
+        assert report.equal
+        assert report.counts[0] == report.counts[1] > 0
