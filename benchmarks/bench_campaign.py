@@ -6,15 +6,21 @@ invocation directory, or ``$BENCH_JSON_DIR``): per-bench wall time and
 cells/second — the machine-readable perf-trajectory data points for the
 engine.  Parallel and serial runs of the same campaign must also agree on
 every aggregated row, so the bench doubles as a determinism check.
+
+The store benches run the same grid through each durable backend and
+record the cells/second ratio against the in-memory null store — the
+persistence layer's lease/commit bookkeeping must stay noise-level
+relative to simulation time (acceptance: within 10%).
 """
 
 import json
 import os
+import tempfile
 from pathlib import Path
 
 import pytest
 
-from repro.campaigns import CAMPAIGNS, run_campaign
+from repro.campaigns import CAMPAIGNS, JsonlStore, SqliteStore, run_campaign
 from repro.metrics.report import format_campaign_report
 
 _RESULTS = {}
@@ -73,3 +79,56 @@ def test_campaign_engine_parallel(benchmark, print_report):
     serial = run_campaign(campaign, jobs=1)
     assert [o.row for o in result.outcomes] == [o.row for o in serial.outcomes]
     print_report(format_campaign_report(result))
+
+
+def _run_with_store(campaign, make_store):
+    """One serial campaign through a fresh store in a scratch directory."""
+    with tempfile.TemporaryDirectory() as scratch:
+        store = make_store(Path(scratch))
+        try:
+            return run_campaign(campaign, jobs=1, store=store)
+        finally:
+            if store is not None:
+                store.close()
+
+
+_STORE_BACKENDS = {
+    "null": lambda scratch: None,  # run_campaign's in-memory default
+    "jsonl": lambda scratch: JsonlStore(scratch / "store"),
+    "sqlite": lambda scratch: SqliteStore(scratch / "store.db"),
+}
+
+
+@pytest.mark.parametrize("backend", sorted(_STORE_BACKENDS))
+def test_campaign_store_overhead(benchmark, print_report, backend):
+    campaign = _tiny_campaign()
+    result = benchmark.pedantic(
+        _run_with_store,
+        args=(campaign, _STORE_BACKENDS[backend]),
+        rounds=1,
+        iterations=1,
+    )
+    _record(f"store_{backend}_jobs1", result)
+    assert result.complete
+    print_report(
+        f"store={backend}: {result.cells_per_s:.2f} cells/s "
+        f"({result.wall_s:.2f}s wall)"
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_store_overhead(emit_bench_json):
+    """Derive the durable-store overhead ratios once all benches ran."""
+    yield
+    null = _RESULTS.get("store_null_jobs1")
+    if not null:
+        return
+    overhead = {}
+    for backend in ("jsonl", "sqlite"):
+        entry = _RESULTS.get(f"store_{backend}_jobs1")
+        if entry and entry["cells_per_s"]:
+            overhead[backend] = {
+                "cells_per_s_ratio_vs_null": entry["cells_per_s"]
+                / null["cells_per_s"],
+            }
+    _RESULTS["store_overhead"] = overhead

@@ -5,14 +5,27 @@ Turns the PR 1 scenario pipeline into a batch system::
     CampaignSpec ──cells()──▶ CampaignCell ──resolve()──▶ ScenarioSpec
           │                                                    │
           └── run_campaign(jobs=N) ── CellRow per cell ◀── run_cell
+                      │
+            WorkQueue │ lease ▸ execute ▸ commit (incremental, idempotent)
+                      ▼
+          ResultStore: null (in-memory) │ jsonl (directory) │ sqlite (.db)
 
 * :mod:`repro.campaigns.spec` — the frozen :class:`CampaignSpec`: a base
   registered scenario plus parameter axes composed as grid / zip / seeded
   random sampling, with deterministic per-cell seeds;
 * :mod:`repro.campaigns.registry` — name → campaign-factory registry
   behind ``python -m repro.experiments campaign run/list/describe``;
-* :mod:`repro.campaigns.executor` — multi-process fan-out with a serial
-  ``jobs=1`` fallback and cell-index-ordered results;
+* :mod:`repro.campaigns.store` — durable result stores keyed by
+  ``(campaign_spec_hash, cell_index)``: JSON-lines directory and SQLite
+  backends behind one :class:`~repro.campaigns.store.ResultStore`
+  protocol, plus the in-memory null store preserving fire-and-forget runs;
+* :mod:`repro.campaigns.queue` — the work-queue executor: workers lease
+  pending cells, execute, and commit rows incrementally; expired leases
+  (dead workers) are reclaimed, crash/resume skips committed cells;
+* :mod:`repro.campaigns.executor` — :func:`run_campaign` drains the queue
+  across N processes with a serial ``jobs=1`` fallback and
+  cell-index-ordered results, byte-identical for any worker count and any
+  kill/resume point;
 * :mod:`repro.campaigns.aggregate` — in-worker reduction of each cell to a
   flat summary row (throughput, fairness, rule churn, latency percentiles);
 * :mod:`repro.campaigns.artifacts` — manifest + rows as JSON/CSV, spec
@@ -29,7 +42,20 @@ from repro.campaigns.aggregate import (
     run_cell,
 )
 from repro.campaigns.artifacts import rerun_command, write_artifacts
-from repro.campaigns.executor import CampaignResult, CellOutcome, run_campaign
+from repro.campaigns.executor import (
+    CampaignExecutionError,
+    CampaignResult,
+    CellOutcome,
+    run_campaign,
+)
+from repro.campaigns.queue import (
+    DEFAULT_LEASE_TTL,
+    CellFailure,
+    QueueStatus,
+    StoreNotEmptyError,
+    WorkQueue,
+    queue_status,
+)
 from repro.campaigns.registry import CAMPAIGNS, CampaignRegistry
 from repro.campaigns.spec import (
     AXIS_MODES,
@@ -37,6 +63,16 @@ from repro.campaigns.spec import (
     CampaignSpec,
     ParameterAxis,
     derive_cell_seed,
+)
+from repro.campaigns.store import (
+    CellRecord,
+    JsonlStore,
+    NullStore,
+    ResultStore,
+    SpecHashMismatchError,
+    SqliteStore,
+    StoreError,
+    open_store,
 )
 
 # Populate CAMPAIGNS with the built-in campaigns.
@@ -47,15 +83,30 @@ __all__ = [
     "CAMPAIGNS",
     "CELL_METRICS",
     "CampaignCell",
+    "CampaignExecutionError",
     "CampaignRegistry",
     "CampaignResult",
     "CampaignSpec",
     "CampaignSummary",
+    "CellFailure",
     "CellOutcome",
+    "CellRecord",
     "CellRow",
+    "DEFAULT_LEASE_TTL",
+    "JsonlStore",
+    "NullStore",
     "ParameterAxis",
+    "QueueStatus",
+    "ResultStore",
+    "SpecHashMismatchError",
+    "SqliteStore",
+    "StoreError",
+    "StoreNotEmptyError",
+    "WorkQueue",
     "derive_cell_seed",
+    "open_store",
     "percentile",
+    "queue_status",
     "rerun_command",
     "run_campaign",
     "run_cell",

@@ -92,6 +92,18 @@ class CellRow:
         """Total rule-management operations (created + stopped + re-rated)."""
         return self.rules_created + self.rules_stopped + self.rate_changes
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CellRow":
+        """Rebuild a row from its :meth:`as_dict` form, bit-identically.
+
+        The store persists rows as JSON; Python's float JSON round-trip is
+        exact, so ``CellRow.from_dict(row.as_dict()) == row`` always holds
+        — what crash/resume byte-identity rests on.
+        """
+        data = dict(payload)
+        data.pop("rule_churn", None)  # derived, not a field
+        return cls(**data)
+
     def as_dict(self) -> Dict[str, Any]:
         return {
             "scenario": self.scenario,

@@ -106,6 +106,10 @@ def _timing(result: CampaignResult) -> Dict:
     return {
         "jobs": result.jobs,
         "wall_s": result.wall_s,
+        # Executed vs skipped distinguishes a resumed run: cells_per_s
+        # counts only the cells this invocation actually simulated.
+        "executed": result.executed,
+        "skipped": result.skipped,
         "cells_per_s": result.cells_per_s,
         "cells": [
             {"index": outcome.index, "wall_s": outcome.wall_s}

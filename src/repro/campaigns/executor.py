@@ -1,14 +1,19 @@
-"""Campaign execution: fan cells out across worker processes.
+"""Campaign execution: drain cells through the work queue, durably or not.
 
-AdapTBF's per-OST decentralization makes campaign cells embarrassingly
-parallel — each is an independent simulation — so the executor is a thin
-:class:`~concurrent.futures.ProcessPoolExecutor` fan-out:
+:func:`run_campaign` is the one public entry point for executing a
+campaign.  Since the persistence layer landed it is a thin shell over
+:class:`~repro.campaigns.queue.WorkQueue` +
+:class:`~repro.campaigns.store.ResultStore`:
 
-* ``jobs == 1`` runs every cell serially in-process (no pool, no pickling,
-  fully deterministic — the configuration tests and figure ports use);
-* ``jobs > 1`` submits one task per cell and collects results as they
-  complete (a ``progress`` callback sees completion order), then restores
-  cell-index order, so the aggregated output is identical to a serial run.
+* the default (no ``store``) drains through an in-memory
+  :class:`~repro.campaigns.store.NullStore` — the historical
+  fire-and-forget behavior, byte-identical artifacts included;
+* with a persistent store (:func:`~repro.campaigns.store.open_store`), every
+  completed cell is committed the moment it finishes, a killed run can be
+  resumed (``resume=True`` skips committed cells and reclaims expired
+  leases), and the finished result is byte-identical to an uninterrupted
+  run for any worker count and any kill point — per-cell determinism plus
+  keep-first commits make resumption invisible in the rows.
 
 Cells are resolved to concrete :class:`ScenarioSpec` objects in the
 *parent* process and shipped to workers as small frozen dataclasses — no
@@ -22,48 +27,70 @@ state never crosses processes.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import List, Optional
 
-from repro.campaigns.aggregate import CampaignSummary, CellRow, run_cell
-from repro.campaigns.spec import CampaignCell, CampaignSpec
-from repro.scenarios.spec import ScenarioSpec
+from repro.campaigns.aggregate import CampaignSummary, CellRow
+from repro.campaigns.queue import (
+    DEFAULT_LEASE_TTL,
+    CellFailure,
+    CellOutcome,
+    ProgressCallback,
+    StoreNotEmptyError,
+    WorkQueue,
+)
+from repro.campaigns.spec import CampaignSpec
+from repro.campaigns.store import NullStore, ResultStore
 
-__all__ = ["CellOutcome", "CampaignResult", "run_campaign"]
-
-#: Signature of the optional progress hook: (outcome, total_cells).
-ProgressCallback = Callable[["CellOutcome", int], None]
-
-
-@dataclass(frozen=True)
-class CellOutcome:
-    """One executed cell: its identity, reduced row and wall time."""
-
-    index: int
-    params: Dict[str, Any]
-    seed: int
-    row: CellRow
-    wall_s: float
+__all__ = [
+    "CellOutcome",
+    "CampaignResult",
+    "CampaignExecutionError",
+    "run_campaign",
+]
 
 
 @dataclass
 class CampaignResult:
-    """All outcomes of one campaign run, in cell-index order."""
+    """All outcomes of one campaign run, in cell-index order.
+
+    For a resumed run, ``outcomes`` holds *every* cell — the ``skipped``
+    ones loaded back from the store plus the cells executed by this
+    invocation — so artifacts written from a resumed result are
+    byte-identical to an uninterrupted run's.
+    """
 
     campaign: CampaignSpec
     jobs: int
     outcomes: List[CellOutcome]
-    #: Total wall time of the campaign (includes pool startup).
+    #: Total wall time of this invocation (includes pool startup).
     wall_s: float
+    #: Cells loaded from the store and skipped (committed by earlier runs).
+    skipped: int = 0
 
     @property
     def rows(self) -> List[CellRow]:
         return [outcome.row for outcome in self.outcomes]
 
     @property
+    def executed(self) -> int:
+        """Cells actually executed by *this* invocation."""
+        return len(self.outcomes) - self.skipped
+
+    @property
+    def complete(self) -> bool:
+        """True when every cell of the campaign has an outcome."""
+        return len(self.outcomes) == self.campaign.n_cells
+
+    @property
     def cells_per_s(self) -> float:
-        return len(self.outcomes) / self.wall_s if self.wall_s > 0 else 0.0
+        """Execution throughput of this invocation.
+
+        Counts only cells executed here — committed-and-skipped cells cost
+        this run no simulation time, so including them would make resumed
+        runs look impossibly fast.
+        """
+        return self.executed / self.wall_s if self.wall_s > 0 else 0.0
 
     def summary(self) -> CampaignSummary:
         reduced = CampaignSummary()
@@ -72,62 +99,101 @@ class CampaignResult:
         return reduced
 
 
-def _execute_cell(spec: ScenarioSpec, cell: CampaignCell) -> CellOutcome:
-    """Run one pre-resolved cell; the worker-side entry point."""
-    start = time.perf_counter()
-    row = run_cell(spec)
-    return CellOutcome(
-        index=cell.index,
-        params=dict(cell.params),
-        seed=cell.seed,
-        row=row,
-        wall_s=time.perf_counter() - start,
-    )
+class CampaignExecutionError(RuntimeError):
+    """Some cells failed to commit; everything that finished is durable.
+
+    Carries the partial :class:`CampaignResult` (``result``) and the
+    per-cell failures (``failures``).  With a persistent store the
+    committed cells survive, so fixing the cause and resuming loses
+    nothing.
+    """
+
+    def __init__(
+        self, failures: List[CellFailure], result: CampaignResult
+    ):
+        self.failures = failures
+        self.result = result
+        detail = "; ".join(
+            f"cell {failure.index} ({failure.error})"
+            for failure in failures[:4]
+        )
+        if len(failures) > 4:
+            detail += f"; ... (+{len(failures) - 4} more)"
+        super().__init__(
+            f"{len(failures)} of {result.campaign.n_cells} campaign "
+            f"cell(s) failed: {detail}. Committed cells are preserved; "
+            "resume to retry the failures."
+        )
 
 
 def run_campaign(
     campaign: CampaignSpec,
     jobs: int = 1,
     progress: Optional[ProgressCallback] = None,
+    store: Optional[ResultStore] = None,
+    resume: bool = False,
+    max_cells: Optional[int] = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
 ) -> CampaignResult:
-    """Run every cell of ``campaign`` across ``jobs`` worker processes.
+    """Run every pending cell of ``campaign`` across ``jobs`` workers.
 
-    The aggregated rows are independent of ``jobs``: cells are resolved
-    from the same frozen spec, executed by the same deterministic
-    simulator, and re-ordered by cell index after parallel collection.
+    The aggregated rows are independent of ``jobs`` *and* of any
+    crash/resume history: cells are resolved from the same frozen spec,
+    executed by the same deterministic simulator, committed first-wins,
+    and re-ordered by cell index after collection.
+
+    Parameters
+    ----------
+    store:
+        A :class:`~repro.campaigns.store.ResultStore` to commit cells into
+        (default: in-memory null store — nothing durable).  The store must
+        belong to this campaign's spec hash; anything else raises
+        :class:`~repro.campaigns.store.SpecHashMismatchError`.
+    resume:
+        Allow the store to already hold committed cells; they are loaded
+        back (bit-identical) and skipped.  Without it a non-empty store is
+        a loud :class:`~repro.campaigns.queue.StoreNotEmptyError`.
+    max_cells:
+        Execute at most this many cells this invocation, then return an
+        incomplete result (``result.complete`` is False) — incremental
+        grinding of a large sweep across many invocations.
+    lease_ttl:
+        Seconds a worker's claim on a cell stays valid without a commit;
+        leases orphaned by worker death are reclaimed after expiry.
+
+    Raises
+    ------
+    CampaignExecutionError
+        If any executed cell failed.  Committed cells are already durable;
+        the partial result rides on the exception.
     """
     if jobs <= 0:
         raise ValueError(f"jobs must be positive, got {jobs}")
-    cells = campaign.cells()
-    total = len(cells)
     start = time.perf_counter()
-    # Resolve in the parent: registry lookups and parameter validation fail
-    # fast (before any pool spins up), and workers need no registry at all.
-    resolved = [(campaign.resolve(cell), cell) for cell in cells]
-    outcomes: List[CellOutcome] = []
-
-    if jobs == 1 or total <= 1:
-        for spec, cell in resolved:
-            outcome = _execute_cell(spec, cell)
-            outcomes.append(outcome)
-            if progress is not None:
-                progress(outcome, total)
-    else:
-        with ProcessPoolExecutor(max_workers=min(jobs, total)) as pool:
-            futures = [
-                pool.submit(_execute_cell, spec, cell)
-                for spec, cell in resolved
-            ]
-            for future in as_completed(futures):
-                outcome = future.result()
-                outcomes.append(outcome)
-                if progress is not None:
-                    progress(outcome, total)
-        outcomes.sort(key=lambda outcome: outcome.index)
-
-    return CampaignResult(
-        campaign=campaign,
-        jobs=jobs,
-        outcomes=outcomes,
-        wall_s=time.perf_counter() - start,
-    )
+    owns_store = store is None
+    if store is None:
+        store = NullStore()
+    try:
+        queue = WorkQueue(campaign, store, lease_ttl=lease_ttl)
+        prior = queue.committed_outcomes()
+        if prior and not resume:
+            raise StoreNotEmptyError(
+                store.location, len(prior), campaign.n_cells
+            )
+        drained = queue.drain(jobs=jobs, progress=progress, max_cells=max_cells)
+        outcomes = sorted(
+            prior + drained.outcomes, key=lambda outcome: outcome.index
+        )
+        result = CampaignResult(
+            campaign=campaign,
+            jobs=jobs,
+            outcomes=outcomes,
+            wall_s=time.perf_counter() - start,
+            skipped=len(prior),
+        )
+        if drained.failures:
+            raise CampaignExecutionError(drained.failures, result)
+        return result
+    finally:
+        if owns_store:
+            store.close()

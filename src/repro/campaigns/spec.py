@@ -299,6 +299,31 @@ class CampaignSpec:
             ],
         }
 
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, Any]) -> "CampaignSpec":
+        """Rebuild a spec from its :meth:`to_json_dict` canonical form.
+
+        Round-trip exactness (``rebuilt.spec_hash() == original``) is what
+        lets a persistent store resume a campaign without the original
+        factory: the store records the canonical form at first run and
+        ``campaign resume`` rebuilds the identical spec from it.  (Axis
+        values and ``base_params`` must be JSON-representable for the
+        round trip to be exact — true of every CLI-reachable campaign.)
+        """
+        return cls(
+            name=payload["name"],
+            scenario=payload["scenario"],
+            axes=tuple(
+                ParameterAxis(axis["param"], tuple(axis["values"]))
+                for axis in payload["axes"]
+            ),
+            mode=payload.get("mode", "grid"),
+            base_params=dict(payload.get("base_params", {})),
+            samples=payload.get("samples", 0),
+            seed=payload.get("seed", 0),
+            description=payload.get("description", ""),
+        )
+
     def spec_hash(self) -> str:
         """Stable content hash of the campaign declaration."""
         canonical = json.dumps(

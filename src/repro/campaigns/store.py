@@ -1,0 +1,625 @@
+"""Durable campaign result stores: commit cells once, survive any crash.
+
+A campaign is a set of idempotent cells — each fully determined by the
+frozen :class:`~repro.campaigns.spec.CampaignSpec` (its hash) and the cell
+index, with the per-cell seed and resolved parameters recorded alongside the
+reduced row.  A :class:`ResultStore` persists exactly that unit: committed
+:class:`CellRecord` objects keyed by ``(campaign_spec_hash, cell_index)``,
+plus the *leases* the work queue uses to hand pending cells to workers and
+to reclaim cells orphaned by worker death (a lease that outlives its TTL is
+treated as abandoned).
+
+Three implementations share the protocol:
+
+* :class:`NullStore` — in-memory, nothing durable; the default path of
+  :func:`~repro.campaigns.executor.run_campaign`, preserving the historical
+  fire-and-forget behavior (and its byte-identical artifacts) exactly;
+* :class:`JsonlStore` — a directory of append-only JSON-lines files.
+  Commits append one canonical JSON line and flush+fsync; a crash mid-write
+  leaves at most one partial trailing line, which loading tolerates.  The
+  campaign identity (``campaign.json``) is written atomically via
+  temp-file + rename;
+* :class:`SqliteStore` — one SQLite database in WAL mode; commits are
+  transactions, leases are rows, and ``campaign status`` works while a run
+  is in flight.
+
+Idempotency contract: the first commit of a cell index wins and later
+commits of the same index are ignored — re-executing a committed cell (two
+racing workers, a resume overlapping a zombie worker) can never change a
+stored row.  Because cells are deterministic, the discarded duplicate is
+byte-equal anyway; the keep-first rule just makes that independent of
+scheduling.
+
+A mismatched spec hash is *always* a loud error
+(:class:`SpecHashMismatchError`): resuming campaign B from campaign A's
+store would silently interleave rows from two different sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "CellRecord",
+    "Lease",
+    "ResultStore",
+    "NullStore",
+    "JsonlStore",
+    "SqliteStore",
+    "SpecHashMismatchError",
+    "StoreError",
+    "open_store",
+]
+
+#: File suffixes routed to :class:`SqliteStore` by :func:`open_store`.
+SQLITE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
+
+#: The 16-byte magic prefix of every SQLite database file.
+_SQLITE_MAGIC = b"SQLite format 3\x00"
+
+
+class StoreError(RuntimeError):
+    """A campaign store refused an operation (corrupt/foreign/unbound)."""
+
+
+class SpecHashMismatchError(StoreError):
+    """The store belongs to a different campaign spec than the one given.
+
+    Raised loudly instead of mixing rows from two sweeps: a store directory
+    (or database) is bound to exactly one campaign spec hash for its whole
+    life.
+    """
+
+    def __init__(self, stored: str, given: str, location: str):
+        self.stored = stored
+        self.given = given
+        self.location = location
+        super().__init__(
+            f"campaign store at {location} belongs to spec hash {stored}, "
+            f"but the campaign being run hashes to {given}; refusing to mix "
+            "rows from different sweeps (point --store elsewhere, or rerun "
+            "`campaign describe` to see each spec's hash)"
+        )
+
+
+@dataclass(frozen=True)
+class CellRecord:
+    """One committed cell: identity, provenance and the reduced row.
+
+    ``row`` is the :meth:`~repro.campaigns.aggregate.CellRow.as_dict` form —
+    JSON round-trips of Python floats are exact (``repr`` round-trip), so a
+    record loaded from disk rebuilds the row bit-identically.
+    """
+
+    index: int
+    seed: int
+    params: Dict[str, Any]
+    row: Dict[str, Any]
+    wall_s: float
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "index": self.index,
+                "seed": self.seed,
+                "params": self.params,
+                "row": self.row,
+                "wall_s": self.wall_s,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, Any]) -> "CellRecord":
+        return cls(
+            index=int(payload["index"]),
+            seed=int(payload["seed"]),
+            params=dict(payload["params"]),
+            row=dict(payload["row"]),
+            wall_s=float(payload["wall_s"]),
+        )
+
+
+@dataclass(frozen=True)
+class Lease:
+    """A worker's claim on one pending cell, valid until ``expires_at``."""
+
+    index: int
+    worker: str
+    expires_at: float
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+
+class ResultStore:
+    """Protocol (and shared plumbing) for durable campaign result stores.
+
+    Lifecycle: :meth:`begin` binds the store to one campaign spec hash
+    (creating or validating the persistent identity), then workers
+    :meth:`acquire` leases on pending cells, :meth:`commit` finished
+    records (which releases the lease), and :meth:`release` leases of
+    failed cells so a resume retries them immediately.  :meth:`load` and
+    :meth:`leases` expose the durable state for resume/status.
+    """
+
+    #: Short backend tag shown by ``campaign status`` (“jsonl”, “sqlite”…).
+    kind: str = "abstract"
+
+    # -- identity ----------------------------------------------------------
+    def begin(self, spec_hash: str, campaign: Mapping[str, Any]) -> None:
+        """Bind to a campaign: record identity, or validate the stored one.
+
+        Raises :class:`SpecHashMismatchError` when the store already
+        belongs to a different spec.
+        """
+        raise NotImplementedError
+
+    def campaign(self) -> Optional[Tuple[str, Dict[str, Any]]]:
+        """``(spec_hash, campaign_json_dict)`` of the bound campaign, if any."""
+        raise NotImplementedError
+
+    @property
+    def location(self) -> str:
+        """Human-readable backing location (path, or ``memory``)."""
+        raise NotImplementedError
+
+    # -- committed rows ----------------------------------------------------
+    def load(self) -> Dict[int, CellRecord]:
+        """Every committed record, keyed by cell index."""
+        raise NotImplementedError
+
+    def commit(self, record: CellRecord) -> None:
+        """Durably commit one cell and release any lease on it.
+
+        First commit of an index wins; duplicates are ignored (see the
+        module idempotency contract).
+        """
+        raise NotImplementedError
+
+    # -- leases ------------------------------------------------------------
+    def acquire(
+        self, index: int, worker: str, now: float, ttl: float
+    ) -> bool:
+        """Try to lease cell ``index`` for ``worker`` until ``now + ttl``.
+
+        Returns False when a live (unexpired) lease from another worker
+        holds the cell, or the cell is already committed.  An expired lease
+        is reclaimed: acquiring over it succeeds — this is how cells
+        orphaned by worker death re-enter the queue.
+        """
+        raise NotImplementedError
+
+    def release(self, index: int) -> None:
+        """Drop any lease on ``index`` (failed cell: retry immediately)."""
+        raise NotImplementedError
+
+    def leases(self) -> Dict[int, Lease]:
+        """All outstanding leases (expired ones included), by cell index."""
+        raise NotImplementedError
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Release backing resources; further calls are undefined."""
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class NullStore(ResultStore):
+    """The no-persistence store: today's fire-and-forget campaign semantics.
+
+    Everything lives in this process; a crash loses all progress, exactly
+    as before the store existed.  Kept as a real :class:`ResultStore` so the
+    work queue has a single code path — the in-memory queue + null store is
+    the default and produces byte-identical artifacts to the historical
+    executor.
+    """
+
+    kind = "null"
+
+    def __init__(self) -> None:
+        self._identity: Optional[Tuple[str, Dict[str, Any]]] = None
+        self._records: Dict[int, CellRecord] = {}
+        self._leases: Dict[int, Lease] = {}
+
+    @property
+    def location(self) -> str:
+        return "memory"
+
+    def begin(self, spec_hash: str, campaign: Mapping[str, Any]) -> None:
+        if self._identity is not None and self._identity[0] != spec_hash:
+            raise SpecHashMismatchError(
+                self._identity[0], spec_hash, self.location
+            )
+        self._identity = (spec_hash, dict(campaign))
+
+    def campaign(self) -> Optional[Tuple[str, Dict[str, Any]]]:
+        return self._identity
+
+    def load(self) -> Dict[int, CellRecord]:
+        return dict(self._records)
+
+    def commit(self, record: CellRecord) -> None:
+        self._records.setdefault(record.index, record)
+        self._leases.pop(record.index, None)
+
+    def acquire(
+        self, index: int, worker: str, now: float, ttl: float
+    ) -> bool:
+        if index in self._records:
+            return False
+        lease = self._leases.get(index)
+        if lease is not None and not lease.expired(now):
+            return False
+        self._leases[index] = Lease(index, worker, now + ttl)
+        return True
+
+    def release(self, index: int) -> None:
+        self._leases.pop(index, None)
+
+    def leases(self) -> Dict[int, Lease]:
+        return dict(self._leases)
+
+
+class JsonlStore(ResultStore):
+    """Append-only JSON-lines directory store.
+
+    Layout under the store directory::
+
+        campaign.json   identity: spec hash + canonical campaign declaration
+        rows.jsonl      one committed CellRecord per line (append + fsync)
+        leases.jsonl    lease event log: acquire/release lines, replayed
+
+    Atomicity model: ``campaign.json`` is written via temp-file + rename
+    (readers never see a partial identity); row/lease commits append one
+    ``\\n``-terminated line and fsync, so a crash leaves at most one
+    malformed trailing line, which :meth:`load` skips.  The event-log form
+    means no file is ever rewritten in place — resume-safety falls out of
+    append-only + keep-first dedup rather than locking.
+
+    Concurrency model: one writing process at a time (the campaign run
+    coordinating the store), any number of readers (``campaign status``).
+    The writer keeps in-memory mirrors of the row/lease state so per-cell
+    bookkeeping is O(1), not a re-parse of the whole log; a *fresh*
+    :class:`JsonlStore` object always replays the files, which is what
+    resume does.  Use :class:`SqliteStore` when several runs must share one
+    store concurrently.
+    """
+
+    kind = "jsonl"
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+        self._campaign_path = self._root / "campaign.json"
+        self._rows_path = self._root / "rows.jsonl"
+        self._leases_path = self._root / "leases.jsonl"
+        # Lazy single-writer mirrors of the on-disk logs (None = not
+        # replayed yet).  Mutators keep them in sync with what they append.
+        self._records_mirror: Optional[Dict[int, CellRecord]] = None
+        self._leases_mirror: Optional[Dict[int, Lease]] = None
+
+    @property
+    def location(self) -> str:
+        return str(self._root)
+
+    # -- identity ----------------------------------------------------------
+    def begin(self, spec_hash: str, campaign: Mapping[str, Any]) -> None:
+        existing = self.campaign()
+        if existing is not None:
+            if existing[0] != spec_hash:
+                raise SpecHashMismatchError(
+                    existing[0], spec_hash, self.location
+                )
+            return
+        payload = json.dumps(
+            {"spec_hash": spec_hash, "campaign": dict(campaign)},
+            sort_keys=True,
+            indent=2,
+        )
+        fd, tmp = tempfile.mkstemp(
+            dir=self._root, prefix=".campaign-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self._campaign_path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+
+    def campaign(self) -> Optional[Tuple[str, Dict[str, Any]]]:
+        if not self._campaign_path.exists():
+            return None
+        try:
+            payload = json.loads(self._campaign_path.read_text("utf-8"))
+            return str(payload["spec_hash"]), dict(payload["campaign"])
+        except (ValueError, KeyError) as exc:
+            raise StoreError(
+                f"corrupt campaign identity at {self._campaign_path}: {exc}"
+            ) from exc
+
+    # -- committed rows ----------------------------------------------------
+    def _append(self, path: Path, line: str) -> None:
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    @staticmethod
+    def _iter_jsonl(path: Path):
+        if not path.exists():
+            return
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except ValueError:
+                    # A crash mid-append leaves one partial trailing line;
+                    # everything before it is intact. Skip, don't fail.
+                    continue
+
+    def load(self) -> Dict[int, CellRecord]:
+        if self._records_mirror is None:
+            records: Dict[int, CellRecord] = {}
+            for payload in self._iter_jsonl(self._rows_path):
+                record = CellRecord.from_json_dict(payload)
+                records.setdefault(record.index, record)  # first commit wins
+            self._records_mirror = records
+        return dict(self._records_mirror)
+
+    def commit(self, record: CellRecord) -> None:
+        self.load()  # materialize the mirror before mutating it
+        if record.index in self._records_mirror:
+            return  # idempotent: first commit won already
+        self._append(self._rows_path, record.to_json())
+        self._records_mirror[record.index] = record
+        self.release(record.index)
+
+    # -- leases ------------------------------------------------------------
+    def acquire(
+        self, index: int, worker: str, now: float, ttl: float
+    ) -> bool:
+        if index in self.load():
+            return False
+        lease = self.leases().get(index)
+        if lease is not None and not lease.expired(now):
+            return False
+        self._append(
+            self._leases_path,
+            json.dumps(
+                {
+                    "op": "acquire",
+                    "index": index,
+                    "worker": worker,
+                    "expires_at": now + ttl,
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            ),
+        )
+        self._leases_mirror[index] = Lease(index, worker, now + ttl)
+        return True
+
+    def release(self, index: int) -> None:
+        if self.leases().get(index) is None:
+            return
+        self._append(
+            self._leases_path,
+            json.dumps(
+                {"op": "release", "index": index},
+                sort_keys=True,
+                separators=(",", ":"),
+            ),
+        )
+        self._leases_mirror.pop(index, None)
+
+    def leases(self) -> Dict[int, Lease]:
+        if self._leases_mirror is None:
+            live: Dict[int, Lease] = {}
+            for event in self._iter_jsonl(self._leases_path):
+                index = int(event["index"])
+                if event.get("op") == "release":
+                    live.pop(index, None)
+                else:
+                    live[index] = Lease(
+                        index=index,
+                        worker=str(event.get("worker", "")),
+                        expires_at=float(event["expires_at"]),
+                    )
+            self._leases_mirror = live
+        return dict(self._leases_mirror)
+
+
+class SqliteStore(ResultStore):
+    """SQLite-backed store: one database file, WAL mode, row-per-cell.
+
+    Schema::
+
+        meta(key TEXT PRIMARY KEY, value TEXT)      -- spec_hash, campaign
+        cells(idx INTEGER PRIMARY KEY, seed, params, row, wall_s)
+        leases(idx INTEGER PRIMARY KEY, worker, expires_at)
+
+    Commits use ``INSERT OR IGNORE`` (first commit wins) plus a lease
+    delete in one transaction; WAL journaling lets ``campaign status`` read
+    a store another process is actively writing.
+    """
+
+    kind = "sqlite"
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self._path = Path(path)
+        if self._path.parent and not self._path.parent.exists():
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(str(self._path))
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=FULL")
+        with self._conn:
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS meta ("
+                "key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+            )
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS cells ("
+                "idx INTEGER PRIMARY KEY, seed INTEGER NOT NULL, "
+                "params TEXT NOT NULL, row TEXT NOT NULL, "
+                "wall_s REAL NOT NULL)"
+            )
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS leases ("
+                "idx INTEGER PRIMARY KEY, worker TEXT NOT NULL, "
+                "expires_at REAL NOT NULL)"
+            )
+
+    @property
+    def location(self) -> str:
+        return str(self._path)
+
+    # -- identity ----------------------------------------------------------
+    def _meta(self, key: str) -> Optional[str]:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else row[0]
+
+    def begin(self, spec_hash: str, campaign: Mapping[str, Any]) -> None:
+        stored = self._meta("spec_hash")
+        if stored is not None:
+            if stored != spec_hash:
+                raise SpecHashMismatchError(stored, spec_hash, self.location)
+            return
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO meta (key, value) VALUES (?, ?)",
+                ("spec_hash", spec_hash),
+            )
+            self._conn.execute(
+                "INSERT INTO meta (key, value) VALUES (?, ?)",
+                ("campaign", json.dumps(dict(campaign), sort_keys=True)),
+            )
+
+    def campaign(self) -> Optional[Tuple[str, Dict[str, Any]]]:
+        spec_hash = self._meta("spec_hash")
+        if spec_hash is None:
+            return None
+        raw = self._meta("campaign")
+        try:
+            return spec_hash, (json.loads(raw) if raw else {})
+        except ValueError as exc:
+            raise StoreError(
+                f"corrupt campaign identity in {self._path}: {exc}"
+            ) from exc
+
+    # -- committed rows ----------------------------------------------------
+    def load(self) -> Dict[int, CellRecord]:
+        records: Dict[int, CellRecord] = {}
+        for idx, seed, params, row, wall_s in self._conn.execute(
+            "SELECT idx, seed, params, row, wall_s FROM cells ORDER BY idx"
+        ):
+            records[idx] = CellRecord(
+                index=idx,
+                seed=seed,
+                params=json.loads(params),
+                row=json.loads(row),
+                wall_s=wall_s,
+            )
+        return records
+
+    def commit(self, record: CellRecord) -> None:
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO cells (idx, seed, params, row, wall_s)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (
+                    record.index,
+                    record.seed,
+                    json.dumps(record.params, sort_keys=True),
+                    json.dumps(record.row, sort_keys=True),
+                    record.wall_s,
+                ),
+            )
+            self._conn.execute(
+                "DELETE FROM leases WHERE idx = ?", (record.index,)
+            )
+
+    # -- leases ------------------------------------------------------------
+    def acquire(
+        self, index: int, worker: str, now: float, ttl: float
+    ) -> bool:
+        with self._conn:
+            committed = self._conn.execute(
+                "SELECT 1 FROM cells WHERE idx = ?", (index,)
+            ).fetchone()
+            if committed is not None:
+                return False
+            row = self._conn.execute(
+                "SELECT expires_at FROM leases WHERE idx = ?", (index,)
+            ).fetchone()
+            if row is not None and now < row[0]:
+                return False
+            self._conn.execute(
+                "INSERT OR REPLACE INTO leases (idx, worker, expires_at) "
+                "VALUES (?, ?, ?)",
+                (index, worker, now + ttl),
+            )
+            return True
+
+    def release(self, index: int) -> None:
+        with self._conn:
+            self._conn.execute("DELETE FROM leases WHERE idx = ?", (index,))
+
+    def leases(self) -> Dict[int, Lease]:
+        return {
+            idx: Lease(index=idx, worker=worker, expires_at=expires_at)
+            for idx, worker, expires_at in self._conn.execute(
+                "SELECT idx, worker, expires_at FROM leases ORDER BY idx"
+            )
+        }
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+def open_store(target: Union[str, Path]) -> ResultStore:
+    """Open (or create) a persistent store at ``target``.
+
+    Routing: an explicit ``sqlite:PATH`` prefix, a :data:`SQLITE_SUFFIXES`
+    file name, or an existing file bearing the SQLite magic header opens a
+    :class:`SqliteStore`; anything else is a :class:`JsonlStore` directory
+    (created on demand).  ``null`` / ``memory`` name a :class:`NullStore`
+    for completeness.
+    """
+    raw = str(target)
+    if raw in ("null", "memory"):
+        return NullStore()
+    if raw.startswith("sqlite:"):
+        return SqliteStore(raw[len("sqlite:"):])
+    path = Path(raw)
+    if path.suffix.lower() in SQLITE_SUFFIXES:
+        return SqliteStore(path)
+    if path.is_file():
+        with path.open("rb") as handle:
+            if handle.read(len(_SQLITE_MAGIC)) == _SQLITE_MAGIC:
+                return SqliteStore(path)
+        raise StoreError(
+            f"{path} exists but is neither a store directory nor a SQLite "
+            "database; pass a directory for a JSON-lines store or a "
+            f"{'/'.join(SQLITE_SUFFIXES)} path for SQLite"
+        )
+    return JsonlStore(path)

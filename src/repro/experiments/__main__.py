@@ -12,6 +12,11 @@ Usage::
     python -m repro.experiments run all                 # every figure, in order
     python -m repro.experiments campaign list           # registered sweeps
     python -m repro.experiments campaign run freq-sweep --jobs 4 --out out/
+    python -m repro.experiments campaign run burst-grid --jobs 4 \\
+        --store sweeps/burst --progress            # durable, per-cell commits
+    python -m repro.experiments campaign status sweeps/burst   # durable state
+    python -m repro.experiments campaign resume sweeps/burst --jobs 4 \\
+        --out out/                                 # finish a killed campaign
     python -m repro.experiments mechanism list          # registered mechanisms
     python -m repro.experiments mechanism describe pid  # knobs + behaviour
     python -m repro.experiments run quickstart --mechanism pid \\
@@ -42,7 +47,18 @@ import argparse
 import sys
 from typing import Dict, List, Optional
 
-from repro.campaigns import CAMPAIGNS, run_campaign, write_artifacts
+from repro.campaigns import (
+    CAMPAIGNS,
+    CampaignExecutionError,
+    CampaignSpec,
+    SpecHashMismatchError,
+    StoreError,
+    StoreNotEmptyError,
+    open_store,
+    queue_status,
+    run_campaign,
+    write_artifacts,
+)
 from repro.core.mechanism import MECHANISMS
 from repro.experiments import fig3_fig4, fig5_fig6, fig7_fig8, fig9, overhead
 from repro.experiments.common import bench_scale, full_scale
@@ -238,32 +254,17 @@ def _cmd_run(args) -> int:
     return 0
 
 
-def _cmd_campaign_run(args) -> int:
-    name = args.campaign.lower().replace("_", "-")
-    params = _split_params(args.param)
-    try:
-        campaign = CAMPAIGNS.build(name, **CAMPAIGNS.coerce(name, params))
-    except (KeyError, ValueError) as exc:
-        raise SystemExit(exc.args[0] if exc.args else str(exc)) from None
+def _campaign_progress(outcome, total, counter) -> None:
+    counter[0] += 1
+    pairs = " ".join(f"{k}={v!r}" for k, v in sorted(outcome.params.items()))
     print(
-        f"campaign {campaign.name!r}: {campaign.n_cells} cell(s) over "
-        f"scenario {campaign.scenario!r}, jobs={args.jobs}"
+        f"  [{counter[0]}/{total}] cell {outcome.index}: {pairs} -> "
+        f"{outcome.row.aggregate_mib_s:.1f} MiB/s "
+        f"({outcome.wall_s:.2f}s)"
     )
-    done = 0
 
-    def _progress(outcome, total):
-        nonlocal done
-        done += 1
-        pairs = " ".join(
-            f"{k}={v!r}" for k, v in sorted(outcome.params.items())
-        )
-        print(
-            f"  [{done}/{total}] cell {outcome.index}: {pairs} -> "
-            f"{outcome.row.aggregate_mib_s:.1f} MiB/s "
-            f"({outcome.wall_s:.2f}s)"
-        )
 
-    result = run_campaign(campaign, jobs=args.jobs, progress=_progress)
+def _report_campaign(campaign, result, args) -> None:
     print()
     print(format_campaign_report(result))
     if any(axis.param == "mechanism" for axis in campaign.axes):
@@ -275,7 +276,107 @@ def _cmd_campaign_run(args) -> int:
             "\nartifacts written: "
             + ", ".join(str(written[k]) for k in sorted(written))
         )
+
+
+def _drive_campaign(campaign, args, store, resume: bool) -> int:
+    """Shared engine behind ``campaign run`` and ``campaign resume``."""
+    print(
+        f"campaign {campaign.name!r}: {campaign.n_cells} cell(s) over "
+        f"scenario {campaign.scenario!r}, jobs={args.jobs}, "
+        f"spec hash {campaign.spec_hash()}"
+        + (f", store {store.kind} at {store.location}" if store else "")
+    )
+    counter = [0]
+    progress = (
+        (lambda outcome, total: _campaign_progress(outcome, total, counter))
+        if args.progress
+        else None
+    )
+    kwargs = {}
+    if getattr(args, "lease_ttl", None):
+        kwargs["lease_ttl"] = args.lease_ttl
+    try:
+        result = run_campaign(
+            campaign,
+            jobs=args.jobs,
+            progress=progress,
+            store=store,
+            resume=resume,
+            max_cells=getattr(args, "max_cells", None),
+            **kwargs,
+        )
+    except (SpecHashMismatchError, StoreNotEmptyError, StoreError) as exc:
+        raise SystemExit(str(exc)) from None
+    except CampaignExecutionError as exc:
+        # Partial progress is durable; report what committed, then fail.
+        _report_campaign(campaign, exc.result, args)
+        print(f"\nERROR: {exc}", file=sys.stderr)
+        return 1
+    _report_campaign(campaign, result, args)
+    if not result.complete:
+        remaining = campaign.n_cells - len(result.outcomes)
+        print(
+            f"\ncampaign incomplete: {remaining} cell(s) still pending "
+            "(resume with `campaign resume "
+            + (store.location if store else "--store ...")
+            + "`)"
+        )
     return 0
+
+
+def _cmd_campaign_run(args) -> int:
+    name = args.campaign.lower().replace("_", "-")
+    params = _split_params(args.param)
+    try:
+        campaign = CAMPAIGNS.build(name, **CAMPAIGNS.coerce(name, params))
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(exc.args[0] if exc.args else str(exc)) from None
+    if args.resume and not args.store:
+        raise SystemExit("--resume requires --store PATH")
+    store = None
+    if args.store:
+        try:
+            store = open_store(args.store)
+        except StoreError as exc:
+            raise SystemExit(str(exc)) from None
+    try:
+        return _drive_campaign(campaign, args, store, resume=args.resume)
+    finally:
+        if store is not None:
+            store.close()
+
+
+def _cmd_campaign_status(args) -> int:
+    try:
+        store = open_store(args.store)
+    except StoreError as exc:
+        raise SystemExit(str(exc)) from None
+    try:
+        status = queue_status(store)
+    except StoreError as exc:
+        raise SystemExit(str(exc)) from None
+    finally:
+        store.close()
+    print(status.describe())
+    return 0
+
+
+def _cmd_campaign_resume(args) -> int:
+    try:
+        store = open_store(args.store)
+    except StoreError as exc:
+        raise SystemExit(str(exc)) from None
+    try:
+        identity = store.campaign()
+        if identity is None:
+            raise SystemExit(
+                f"store at {store.location} holds no campaign yet; start "
+                "one with `campaign run <name> --store ...`"
+            )
+        campaign = CampaignSpec.from_json_dict(identity[1])
+        return _drive_campaign(campaign, args, store, resume=True)
+    finally:
+        store.close()
 
 
 def _cmd_campaign_list(_args) -> int:
@@ -526,7 +627,93 @@ def main(argv=None) -> int:
         default=None,
         help="write manifest/rows/timing artifacts (JSON + CSV) into DIR",
     )
+    crun_p.add_argument(
+        "--store",
+        metavar="DIR|DB",
+        default=None,
+        help="durable result store: a directory (JSON-lines) or a "
+        ".db/.sqlite path (SQLite); every finished cell commits "
+        "immediately, so a killed run is resumable",
+    )
+    crun_p.add_argument(
+        "--resume",
+        action="store_true",
+        help="allow --store to already hold committed cells of this "
+        "campaign; they are skipped and only pending cells execute",
+    )
+    crun_p.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a per-cell completion line (index, params, wall s) as "
+        "each cell finishes",
+    )
+    crun_p.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        metavar="N",
+        help="execute at most N cells this invocation, then stop "
+        "(incremental grinding of a large sweep; combine with --store)",
+    )
+    crun_p.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="S",
+        help="seconds a worker's claim on a cell stays valid without a "
+        "commit; expired leases (dead workers) are reclaimed on resume",
+    )
     crun_p.set_defaults(handler=_cmd_campaign_run)
+
+    cstat_p = camp_sub.add_parser(
+        "status", help="inspect a durable campaign store's progress"
+    )
+    cstat_p.add_argument(
+        "store", metavar="DIR|DB", help="store passed to `campaign run --store`"
+    )
+    cstat_p.set_defaults(handler=_cmd_campaign_status)
+
+    cres_p = camp_sub.add_parser(
+        "resume",
+        help="finish a half-run campaign from its store (skips committed "
+        "cells; rows are byte-identical to an uninterrupted run)",
+    )
+    cres_p.add_argument(
+        "store", metavar="DIR|DB", help="store passed to `campaign run --store`"
+    )
+    cres_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes to fan pending cells across (default: 1)",
+    )
+    cres_p.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="write manifest/rows/timing artifacts (JSON + CSV) into DIR",
+    )
+    cres_p.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a per-cell completion line as each cell finishes",
+    )
+    cres_p.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        metavar="N",
+        help="execute at most N pending cells this invocation",
+    )
+    cres_p.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="S",
+        help="seconds a worker's claim on a cell stays valid without a commit",
+    )
+    cres_p.set_defaults(handler=_cmd_campaign_resume)
 
     clist_p = camp_sub.add_parser("list", help="list registered campaigns")
     clist_p.set_defaults(handler=_cmd_campaign_list)

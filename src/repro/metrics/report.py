@@ -115,7 +115,14 @@ def format_campaign_report(result: "CampaignResult") -> str:
         )
         + ")",
         f"wall: {result.wall_s:.2f}s total, {result.cells_per_s:.2f} cells/s "
-        f"with {result.jobs} worker(s); spec hash {campaign.spec_hash()}",
+        f"with {result.jobs} worker(s)"
+        + (
+            f"; executed {result.executed}, skipped "
+            f"{result.skipped} already-committed"
+            if result.skipped
+            else ""
+        )
+        + f"; spec hash {campaign.spec_hash()}",
     ]
     return "\n".join(parts)
 

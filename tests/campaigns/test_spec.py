@@ -178,6 +178,16 @@ class TestIdentity:
         assert "interval_s" in text
         assert "[0]" in text and "cells=6" in text
 
+    def test_describe_exposes_spec_hash(self):
+        campaign = grid_campaign()
+        assert f"hash={campaign.spec_hash()}" in campaign.describe()
+
+    def test_from_json_dict_round_trips_hash(self):
+        campaign = grid_campaign()
+        rebuilt = type(campaign).from_json_dict(campaign.to_json_dict())
+        assert rebuilt == campaign
+        assert rebuilt.spec_hash() == campaign.spec_hash()
+
 
 class TestMechanismAxis:
     """`mechanism` sweeps apply to the resolved spec's policy."""

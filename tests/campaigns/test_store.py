@@ -1,0 +1,265 @@
+"""Tests for the durable campaign result stores (JSON-lines + SQLite).
+
+Covers the store protocol itself: identity binding and spec-hash
+mismatch rejection, commit/load bit-exact round trips, keep-first
+idempotency, lease acquire/expiry/release/reclaim semantics, crash
+tolerance of the append-only files, and ``open_store`` routing.
+"""
+
+import json
+
+import pytest
+
+from repro.campaigns.store import (
+    CellRecord,
+    JsonlStore,
+    Lease,
+    NullStore,
+    SpecHashMismatchError,
+    SqliteStore,
+    StoreError,
+    open_store,
+)
+
+HASH_A = "a" * 16
+HASH_B = "b" * 16
+CAMPAIGN_A = {"name": "alpha", "scenario": "quickstart", "seed": 0}
+
+
+def record(index: int, value: float = 1.5) -> CellRecord:
+    """A record with floats that don't round-trip by accident."""
+    return CellRecord(
+        index=index,
+        seed=1234567 + index,
+        params={"capacity_mib_s": 0.1 + 0.2, "n": index},
+        row={
+            "scenario": "quickstart",
+            "aggregate_mib_s": value * (1.0 / 3.0),
+            "fairness": 0.9999999999999998,
+            "clients_finished": True,
+        },
+        wall_s=0.25,
+    )
+
+
+@pytest.fixture(params=["jsonl", "sqlite"])
+def make_store(request, tmp_path):
+    """Factory opening the *same* persistent store repeatedly."""
+    if request.param == "jsonl":
+        target = tmp_path / "store"
+        return lambda: JsonlStore(target)
+    target = tmp_path / "store.db"
+    return lambda: SqliteStore(target)
+
+
+class TestIdentity:
+    def test_begin_binds_and_round_trips(self, make_store):
+        store = make_store()
+        assert store.campaign() is None
+        store.begin(HASH_A, CAMPAIGN_A)
+        assert store.campaign() == (HASH_A, CAMPAIGN_A)
+        store.close()
+        # A fresh handle on the same location sees the identity.
+        reopened = make_store()
+        assert reopened.campaign() == (HASH_A, CAMPAIGN_A)
+        reopened.close()
+
+    def test_begin_same_hash_is_idempotent(self, make_store):
+        store = make_store()
+        store.begin(HASH_A, CAMPAIGN_A)
+        store.begin(HASH_A, CAMPAIGN_A)
+        assert store.campaign()[0] == HASH_A
+        store.close()
+
+    def test_mismatched_hash_is_loud(self, make_store):
+        store = make_store()
+        store.begin(HASH_A, CAMPAIGN_A)
+        with pytest.raises(SpecHashMismatchError) as excinfo:
+            store.begin(HASH_B, {"name": "beta"})
+        assert HASH_A in str(excinfo.value)
+        assert HASH_B in str(excinfo.value)
+        store.close()
+        # Still loud from a fresh handle (the durable identity wins).
+        reopened = make_store()
+        with pytest.raises(SpecHashMismatchError):
+            reopened.begin(HASH_B, {"name": "beta"})
+        reopened.close()
+
+
+class TestCommit:
+    def test_commit_load_round_trip_is_exact(self, make_store):
+        store = make_store()
+        store.begin(HASH_A, CAMPAIGN_A)
+        first = record(0)
+        store.commit(first)
+        store.close()
+        loaded = make_store().load()
+        assert loaded == {0: first}
+        # Bit-exact floats: the whole resume byte-identity rests on this.
+        assert loaded[0].row["aggregate_mib_s"] == 1.5 * (1.0 / 3.0)
+        assert loaded[0].params["capacity_mib_s"] == 0.1 + 0.2
+
+    def test_first_commit_wins(self, make_store):
+        store = make_store()
+        store.begin(HASH_A, CAMPAIGN_A)
+        store.commit(record(0, value=1.0))
+        store.commit(record(0, value=999.0))  # racing duplicate: ignored
+        assert store.load()[0].row["aggregate_mib_s"] == 1.0 * (1.0 / 3.0)
+        store.close()
+
+    def test_commit_releases_the_lease(self, make_store):
+        store = make_store()
+        store.begin(HASH_A, CAMPAIGN_A)
+        assert store.acquire(0, "w1", now=100.0, ttl=50.0)
+        store.commit(record(0))
+        assert store.leases() == {}
+        store.close()
+
+    def test_committed_cell_cannot_be_leased(self, make_store):
+        store = make_store()
+        store.begin(HASH_A, CAMPAIGN_A)
+        store.commit(record(0))
+        assert not store.acquire(0, "w1", now=0.0, ttl=10.0)
+        store.close()
+
+
+class TestLeases:
+    def test_live_lease_blocks_second_acquire(self, make_store):
+        store = make_store()
+        store.begin(HASH_A, CAMPAIGN_A)
+        assert store.acquire(0, "w1", now=100.0, ttl=50.0)
+        assert not store.acquire(0, "w2", now=120.0, ttl=50.0)
+        assert store.leases()[0].worker == "w1"
+        store.close()
+
+    def test_expired_lease_is_reclaimed(self, make_store):
+        store = make_store()
+        store.begin(HASH_A, CAMPAIGN_A)
+        assert store.acquire(0, "dead-worker", now=100.0, ttl=50.0)
+        # 150.0 is the expiry instant: now >= expires_at counts as dead.
+        assert store.acquire(0, "w2", now=150.0, ttl=50.0)
+        lease = store.leases()[0]
+        assert lease.worker == "w2"
+        assert lease.expires_at == 200.0
+        store.close()
+
+    def test_release_frees_immediately(self, make_store):
+        store = make_store()
+        store.begin(HASH_A, CAMPAIGN_A)
+        assert store.acquire(0, "w1", now=100.0, ttl=50.0)
+        store.release(0)
+        assert store.leases() == {}
+        assert store.acquire(0, "w2", now=101.0, ttl=50.0)
+        store.close()
+
+    def test_leases_survive_reopen(self, make_store):
+        store = make_store()
+        store.begin(HASH_A, CAMPAIGN_A)
+        store.acquire(3, "w1", now=10.0, ttl=5.0)
+        store.close()
+        assert make_store().leases() == {3: Lease(3, "w1", 15.0)}
+
+    def test_lease_expired_predicate(self):
+        lease = Lease(index=0, worker="w", expires_at=10.0)
+        assert not lease.expired(9.999)
+        assert lease.expired(10.0)
+        assert lease.expired(11.0)
+
+
+class TestJsonlCrashTolerance:
+    def test_partial_trailing_row_line_is_skipped(self, tmp_path):
+        store = JsonlStore(tmp_path / "s")
+        store.begin(HASH_A, CAMPAIGN_A)
+        store.commit(record(0))
+        store.commit(record(1))
+        # Simulate a crash mid-append: a torn, unterminated JSON fragment.
+        with (tmp_path / "s" / "rows.jsonl").open("a") as handle:
+            handle.write('{"index": 2, "seed": 99, "par')
+        reloaded = JsonlStore(tmp_path / "s").load()
+        assert sorted(reloaded) == [0, 1]
+
+    def test_partial_trailing_lease_line_is_skipped(self, tmp_path):
+        store = JsonlStore(tmp_path / "s")
+        store.begin(HASH_A, CAMPAIGN_A)
+        store.acquire(0, "w1", now=1.0, ttl=10.0)
+        with (tmp_path / "s" / "leases.jsonl").open("a") as handle:
+            handle.write('{"op": "acq')
+        assert sorted(JsonlStore(tmp_path / "s").leases()) == [0]
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = JsonlStore(tmp_path / "s")
+        store.begin(HASH_A, CAMPAIGN_A)
+        leftovers = [
+            p.name for p in (tmp_path / "s").iterdir() if ".tmp" in p.name
+        ]
+        assert leftovers == []
+
+    def test_corrupt_identity_is_loud(self, tmp_path):
+        store = JsonlStore(tmp_path / "s")
+        store.begin(HASH_A, CAMPAIGN_A)
+        (tmp_path / "s" / "campaign.json").write_text("{not json")
+        with pytest.raises(StoreError, match="corrupt"):
+            JsonlStore(tmp_path / "s").campaign()
+
+
+class TestNullStore:
+    def test_nothing_durable_but_protocol_complete(self):
+        store = NullStore()
+        assert store.location == "memory"
+        store.begin(HASH_A, CAMPAIGN_A)
+        assert store.campaign() == (HASH_A, CAMPAIGN_A)
+        assert store.acquire(0, "w", now=0.0, ttl=10.0)
+        store.commit(record(0))
+        assert store.leases() == {}
+        assert sorted(store.load()) == [0]
+        # A second NullStore shares nothing: that's the point.
+        assert NullStore().load() == {}
+
+    def test_mismatch_still_loud(self):
+        store = NullStore()
+        store.begin(HASH_A, CAMPAIGN_A)
+        with pytest.raises(SpecHashMismatchError):
+            store.begin(HASH_B, {})
+
+
+class TestOpenStore:
+    def test_directory_routes_to_jsonl(self, tmp_path):
+        store = open_store(tmp_path / "sweep")
+        assert isinstance(store, JsonlStore)
+        assert store.kind == "jsonl"
+
+    def test_db_suffix_routes_to_sqlite(self, tmp_path):
+        for suffix in (".db", ".sqlite", ".sqlite3"):
+            store = open_store(tmp_path / f"sweep{suffix}")
+            assert isinstance(store, SqliteStore), suffix
+            store.close()
+
+    def test_sqlite_prefix_routes_to_sqlite(self, tmp_path):
+        store = open_store(f"sqlite:{tmp_path / 'plain-name'}")
+        assert isinstance(store, SqliteStore)
+        store.close()
+
+    def test_existing_sqlite_file_is_sniffed(self, tmp_path):
+        # Create with a suffix, reopen via an extensionless path.
+        target = tmp_path / "noext"
+        SqliteStore(target).close()
+        store = open_store(target)
+        assert isinstance(store, SqliteStore)
+        store.close()
+
+    def test_foreign_file_is_rejected(self, tmp_path):
+        target = tmp_path / "rows.txt"
+        target.write_text("not a store")
+        with pytest.raises(StoreError, match="neither"):
+            open_store(target)
+
+    def test_null_names(self):
+        assert isinstance(open_store("null"), NullStore)
+        assert isinstance(open_store("memory"), NullStore)
+
+
+class TestCellRecord:
+    def test_json_round_trip(self):
+        original = record(7)
+        payload = json.loads(original.to_json())
+        assert CellRecord.from_json_dict(payload) == original

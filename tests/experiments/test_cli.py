@@ -126,6 +126,9 @@ class TestCampaign:
         assert "interval_s" in out
         assert "recompensation" in out
         assert "--param" in out
+        # The spec hash is the store/resume identity key; describe must
+        # surface it so a sweep can be matched to its durable store.
+        assert "hash=" in out
 
     def test_campaign_describe_unknown_exits(self):
         with pytest.raises(SystemExit):
@@ -155,6 +158,62 @@ class TestCampaign:
         assert "MiB/s" in out
         for artifact in ("manifest.json", "rows.json", "rows.csv", "timing.json"):
             assert (tmp_path / artifact).exists()
+
+    def test_campaign_store_run_status_resume_cycle(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        base = [
+            "campaign", "run", "scale-osts",
+            "--param", "osts=1",
+            "--param", "capacities=128,192",
+            "--param", "file_mib=8",
+            "--param", "procs=2",
+            "--store", store,
+        ]
+        # Half the sweep, with per-cell progress lines.
+        assert main(base + ["--max-cells", "1", "--progress"]) == 0
+        out = capsys.readouterr().out
+        assert "[1/2] cell 0:" in out
+        assert "campaign incomplete" in out
+
+        assert main(["campaign", "status", store]) == 0
+        out = capsys.readouterr().out
+        assert "1/2 committed" in out
+        assert "campaign resume" in out
+
+        assert main(["campaign", "resume", store]) == 0
+        out = capsys.readouterr().out
+        assert "skipped 1 already-committed" in out
+
+        assert main(["campaign", "status", store]) == 0
+        assert "complete" in capsys.readouterr().out
+
+    def test_campaign_fresh_run_on_dirty_store_exits(self, tmp_path, capsys):
+        base = [
+            "campaign", "run", "scale-osts",
+            "--param", "osts=1",
+            "--param", "capacities=128,192",
+            "--param", "file_mib=8",
+            "--param", "procs=2",
+            "--store", str(tmp_path / "s.db"),
+        ]
+        assert main(base + ["--max-cells", "1"]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="resume"):
+            main(base)
+        # --resume picks the half-finished sweep back up instead.
+        assert main(base + ["--resume"]) == 0
+
+    def test_campaign_resume_requires_store(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "campaign", "run", "freq-sweep", "--resume",
+                ]
+            )
+
+    def test_campaign_status_empty_store_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="no campaign"):
+            main(["campaign", "status", str(tmp_path / "empty")])
 
     def test_campaign_run_unknown_param_exits(self):
         with pytest.raises(SystemExit):
