@@ -1,0 +1,8 @@
+"""Standalone linter entry point: ``python -m repro.analysis lint run``."""
+
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

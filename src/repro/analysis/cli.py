@@ -1,0 +1,140 @@
+"""``lint`` CLI: run the contract linter, list rules, describe one.
+
+Wired into the unified experiments CLI (``python -m repro.experiments
+lint ...``) and exposed standalone as ``python -m repro.analysis`` so CI
+can gate on it without touching the scenario stack.
+
+Exit status: ``lint run`` exits 0 on a clean tree and 2 when any
+unsuppressed violation (including unused or malformed pragmas) remains —
+distinct from argparse's exit 1 so scripts can tell "dirty tree" from
+"bad invocation".
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.analysis.engine import DEFAULT_TARGETS, lint_paths
+from repro.analysis.rules import RULES
+
+__all__ = ["add_lint_subparser", "main"]
+
+#: Exit code for "the tree has violations" (argparse uses 1 and 2 is
+#: conventional for "real findings" in linters like grep -q workflows).
+EXIT_VIOLATIONS = 2
+
+
+def _cmd_lint_run(args) -> int:
+    try:
+        report = lint_paths(
+            paths=args.paths or None,
+            rules=args.rule or None,
+            root=Path(args.root) if args.root else None,
+        )
+    except (FileNotFoundError, KeyError) as exc:
+        raise SystemExit(exc.args[0] if exc.args else str(exc)) from None
+    rendered = (
+        report.to_json() if args.format == "json" else report.format_text()
+    )
+    if args.out:
+        Path(args.out).write_text(rendered + "\n", encoding="utf-8")
+        print(f"lint report written: {args.out}")
+        if args.format == "text" and not report.ok:
+            # Violations must reach the console even when redirected.
+            print(rendered, file=sys.stderr)
+    else:
+        print(rendered)
+    return 0 if report.ok else EXIT_VIOLATIONS
+
+
+def _cmd_lint_list(_args) -> int:
+    print("registered lint rules (static contracts; see docs/contracts.md):")
+    for name in RULES.names():
+        entry = RULES.get(name)
+        print(f"  {name:26s} {entry.description}")
+    print()
+    print(
+        "run with:      python -m repro.experiments lint run "
+        f"[{' '.join(DEFAULT_TARGETS)}] [--format json]\n"
+        "details with:  python -m repro.experiments lint describe <rule>\n"
+        "suppress with: # repro: allow[<rule>] reason=<why>  (line) or\n"
+        "               # repro: allow-file[<rule>] reason=<why>  (file)"
+    )
+    return 0
+
+
+def _cmd_lint_describe(args) -> int:
+    try:
+        print(RULES.describe(args.rule))
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(exc.args[0] if exc.args else str(exc)) from None
+    return 0
+
+
+def add_lint_subparser(subparsers) -> None:
+    """Attach ``lint run|list|describe`` to an argparse subparsers object."""
+    lint_p = subparsers.add_parser(
+        "lint",
+        help="static contract linter (determinism & API invariants)",
+    )
+    lint_sub = lint_p.add_subparsers(dest="lint_command", required=True)
+
+    run_p = lint_sub.add_parser(
+        "run", help="lint the repo; non-zero exit on any violation"
+    )
+    run_p.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files/directories to lint (default: {' '.join(DEFAULT_TARGETS)})",
+    )
+    run_p.add_argument(
+        "--rule",
+        action="append",
+        metavar="ID",
+        help="run only this rule (repeatable; default: all registered)",
+    )
+    run_p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is the CI-artifact schema, version 1)",
+    )
+    run_p.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="also write the report to FILE (violations still print to "
+        "stderr in text mode)",
+    )
+    run_p.add_argument(
+        "--root",
+        metavar="DIR",
+        default=None,
+        help="repo root for path scoping (default: current directory)",
+    )
+    run_p.set_defaults(handler=_cmd_lint_run)
+
+    list_p = lint_sub.add_parser("list", help="list registered rules")
+    list_p.set_defaults(handler=_cmd_lint_list)
+
+    desc_p = lint_sub.add_parser(
+        "describe", help="show a rule's contract, rationale and examples"
+    )
+    desc_p.add_argument("rule")
+    desc_p.set_defaults(handler=_cmd_lint_describe)
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Standalone entry point for ``python -m repro.analysis``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static contract linter for the AdapTBF reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    add_lint_subparser(sub)
+    args = parser.parse_args(argv)
+    return args.handler(args)

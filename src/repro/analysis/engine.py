@@ -1,0 +1,236 @@
+"""Lint engine: file discovery, rule application, suppression reconciliation.
+
+The entry points are :func:`lint_paths` (walk real files under a repo
+root) and :func:`lint_source` (lint one in-memory source string at a
+virtual path — what the fixture tests and the executable rule-docstring
+examples use).  Both run the same pipeline:
+
+1. parse the file into a :class:`~repro.analysis.model.FileContext`
+   (AST + suppression pragmas);
+2. run every selected rule's ``check``;
+3. match raw violations against pragmas — a line pragma suppresses
+   same-rule findings on its own line, a file pragma suppresses the rule
+   file-wide — marking each pragma that fires as *used*;
+4. emit ``unused-suppression`` for pragmas that suppressed nothing and
+   ``pragma-syntax`` for malformed ones.
+
+The report's violation list is sorted by (path, line, col, rule) so two
+runs over the same tree are byte-identical — the linter holds itself to
+the invariant it enforces.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.model import META_RULES, Violation, build_context
+from repro.analysis.rules import RULES, LintRule
+
+__all__ = ["LintReport", "lint_paths", "lint_source", "discover_files"]
+
+#: Directories never descended into during discovery.
+_SKIP_DIRS = {
+    ".git",
+    "__pycache__",
+    ".pytest_cache",
+    ".mypy_cache",
+    "node_modules",
+    ".venv",
+    "venv",
+}
+
+#: Default lint targets relative to the repo root: the package itself plus
+#: the runnable satellites.  Tests are deliberately excluded — they stub,
+#: monkeypatch and (in the lint fixtures) *contain* violations by design.
+DEFAULT_TARGETS = ("src", "benchmarks", "examples")
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    #: Violations a pragma suppressed (kept for reporting/debugging).
+    suppressed: List[Violation] = field(default_factory=list)
+    rule_ids: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_json_dict(self) -> dict:
+        return {
+            "version": 1,
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "rules": list(self.rule_ids),
+            "violations": [v.to_json_dict() for v in self.violations],
+            "suppressed": len(self.suppressed),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2, sort_keys=True)
+
+    def format_text(self) -> str:
+        lines = [v.format() for v in self.violations]
+        lines.append(
+            f"{len(self.violations)} violation(s) in "
+            f"{self.files_checked} file(s) checked "
+            f"({len(self.suppressed)} suppressed by pragma)"
+        )
+        return "\n".join(lines)
+
+
+def _sort_key(v: Violation) -> Tuple[str, int, int, str]:
+    return (v.path, v.line, v.col, v.rule)
+
+
+def _build_rules(rule_ids: Optional[Sequence[str]]) -> List[LintRule]:
+    ids = list(rule_ids) if rule_ids else RULES.names()
+    return [RULES.build(rule_id) for rule_id in ids]
+
+
+def _lint_context(ctx, rules: Iterable[LintRule]):
+    """Run rules + suppression reconciliation over one FileContext."""
+    kept: List[Violation] = []
+    suppressed: List[Violation] = []
+    selected = set()
+    for rule in rules:
+        selected.add(rule.id)
+        for violation in rule.check(ctx):
+            pragma = ctx.find_pragma(violation.rule, violation.line)
+            if pragma is not None:
+                pragma.used = True
+                suppressed.append(violation)
+            else:
+                kept.append(violation)
+    for pragma in ctx.pragmas:
+        # A pragma for a rule outside the selected subset had no chance
+        # to fire; only a full-rule run can call it stale.
+        if pragma.rule not in selected:
+            continue
+        if not pragma.used:
+            kept.append(
+                ctx.violation_at(
+                    "unused-suppression",
+                    pragma.line,
+                    1,
+                    f"pragma allow[{pragma.rule}] suppresses nothing; "
+                    "remove it (suppressions must decay with the code "
+                    "they excuse)",
+                )
+            )
+    for line, col, message in ctx.pragma_errors:
+        kept.append(ctx.violation_at("pragma-syntax", line, col, message))
+    return kept, suppressed
+
+
+def lint_source(
+    source: str,
+    rel: str,
+    rules: Optional[Sequence[str]] = None,
+) -> List[Violation]:
+    """Lint one source string as though it lived at repo path ``rel``.
+
+    ``rel`` drives rule scoping exactly like a real file's path does —
+    ``lint_source(code, rel="src/repro/sim/x.py")`` sees the sim-layer
+    rules, ``rel="tools/x.py"`` only the unscoped ones.  Returns the
+    sorted violation list (suppressed findings excluded).
+    """
+    built = _build_rules(rules)
+    rule_ids = tuple(sorted(rule.id for rule in built))
+    ctx = build_context(source, rel.replace("\\", "/"), _known_ids(rule_ids))
+    kept, _ = _lint_context(ctx, built)
+    return sorted(kept, key=_sort_key)
+
+
+def _known_ids(selected: Tuple[str, ...]) -> Tuple[str, ...]:
+    """Rule ids pragmas may name: every *registered* rule, not just the
+    selected subset — running one rule must not turn other rules'
+    legitimate pragmas into syntax errors."""
+    return tuple(RULES.names())
+
+
+def discover_files(
+    paths: Sequence[Path], root: Path
+) -> List[Tuple[Path, str]]:
+    """Expand ``paths`` into ``(file, repo-relative-posix)`` pairs."""
+    found: List[Tuple[Path, str]] = []
+    seen = set()
+    for path in paths:
+        path = Path(path)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_file():
+            candidates = [path]
+        elif path.is_dir():
+            candidates = [
+                p
+                for p in sorted(path.rglob("*.py"))
+                if not (set(p.parts) & _SKIP_DIRS)
+            ]
+        else:
+            raise FileNotFoundError(f"lint target does not exist: {path}")
+        for file in candidates:
+            try:
+                rel = file.resolve().relative_to(root.resolve()).as_posix()
+            except ValueError:
+                rel = file.as_posix()
+            if rel in seen:
+                continue
+            seen.add(rel)
+            found.append((file, rel))
+    return found
+
+
+def lint_paths(
+    paths: Optional[Sequence] = None,
+    rules: Optional[Sequence[str]] = None,
+    root: Optional[Path] = None,
+) -> LintReport:
+    """Lint files/directories and return a :class:`LintReport`.
+
+    ``paths`` defaults to :data:`DEFAULT_TARGETS` under ``root`` (which
+    defaults to the current working directory; pass the repo root when
+    running from elsewhere).  A file that fails to parse is reported as a
+    ``pragma-syntax``-free hard error via a synthetic violation — a
+    syntactically broken file can't uphold any contract.
+    """
+    root = Path(root) if root is not None else Path.cwd()
+    targets = [Path(p) for p in (paths or DEFAULT_TARGETS)]
+    # Missing default targets (e.g. no examples/ dir) are skipped silently;
+    # explicitly-passed targets must exist.
+    if not paths:
+        targets = [t for t in targets if (root / t).exists()]
+    built = _build_rules(rules)
+    rule_ids = tuple(sorted(rule.id for rule in built))
+    known = _known_ids(rule_ids)
+
+    report = LintReport(rule_ids=rule_ids)
+    for file, rel in discover_files(targets, root):
+        source = file.read_text(encoding="utf-8")
+        try:
+            ctx = build_context(source, rel, known)
+        except SyntaxError as exc:
+            report.violations.append(
+                Violation(
+                    rule="pragma-syntax",
+                    path=rel,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1),
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            report.files_checked += 1
+            continue
+        kept, suppressed = _lint_context(ctx, built)
+        report.violations.extend(kept)
+        report.suppressed.extend(suppressed)
+        report.files_checked += 1
+    report.violations.sort(key=_sort_key)
+    report.suppressed.sort(key=_sort_key)
+    return report

@@ -1,0 +1,244 @@
+"""Data model for the static contract linter.
+
+A lint run is a pipeline over :class:`FileContext` objects — one per
+Python source file, holding the parsed AST, the repo-relative path the
+scoping rules key on, and the suppression pragmas extracted from the
+file's comments.  Rules (:mod:`repro.analysis.rules`) consume contexts
+and yield :class:`Violation` records; the engine
+(:mod:`repro.analysis.engine`) reconciles violations against pragmas and
+turns unused or malformed pragmas into violations of their own.
+
+Suppression pragmas
+-------------------
+Two comment forms, both requiring an explicit justification::
+
+    x = random.random()  # repro: allow[no-raw-random] reason=seeded demo
+    # repro: allow-file[calendar-seam-only] reason=TBF rule-queue heap
+
+``allow`` suppresses matching violations on its own physical line;
+``allow-file`` suppresses the rule for the whole file (conventionally
+placed near the top, next to the import it excuses).  A pragma whose
+rule never fires is an ``unused-suppression`` violation — suppressions
+must decay with the code they excuse, not outlive it.  A pragma with a
+missing ``reason=``, an unknown rule id, or a malformed body is a
+``pragma-syntax`` violation; the two meta rules themselves cannot be
+suppressed.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "Violation",
+    "Pragma",
+    "FileContext",
+    "parse_pragmas",
+    "META_RULES",
+]
+
+#: Engine-implemented meta rules validating the suppression mechanism
+#: itself; never suppressible.
+META_RULES = ("unused-suppression", "pragma-syntax")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule, a location, and what the contract demands."""
+
+    rule: str
+    #: Repo-relative posix path ("src/repro/sim/engine.py").
+    path: str
+    #: 1-based source line.
+    line: int
+    #: 1-based column of the offending node.
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Pragma:
+    """One ``# repro: allow[...]`` suppression comment."""
+
+    line: int
+    #: "line" (``allow``) or "file" (``allow-file``).
+    scope: str
+    rule: str
+    reason: str
+    #: Set by the engine when the pragma suppressed at least one violation.
+    used: bool = False
+
+
+#: Any comment that *attempts* to be a repro pragma — used to route
+#: near-miss spellings into pragma-syntax instead of silently ignoring.
+_PRAGMA_ATTEMPT = re.compile(r"#\s*repro\s*:")
+
+_PRAGMA = re.compile(
+    r"#\s*repro:\s*(?P<directive>allow(?:-file)?)"
+    r"\[(?P<rule>[^\]]*)\]"
+    r"\s*(?P<rest>.*)$"
+)
+
+_REASON = re.compile(r"^reason=(?P<reason>\S.*)$")
+
+
+def parse_pragmas(
+    source: str, known_rules: Tuple[str, ...]
+) -> Tuple[List[Pragma], List[Tuple[int, int, str]]]:
+    """Extract pragmas from ``source`` comments.
+
+    Returns ``(pragmas, errors)`` where each error is a
+    ``(line, col, message)`` triple destined to become a
+    ``pragma-syntax`` violation.  Uses :mod:`tokenize` so comment-looking
+    text inside string literals is never misread as a pragma.
+    """
+    pragmas: List[Pragma] = []
+    errors: List[Tuple[int, int, str]] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        # The AST parse will report the real problem; no pragmas here.
+        return [], []
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        comment = tok.string
+        line, col = tok.start[0], tok.start[1] + 1
+        if not _PRAGMA_ATTEMPT.search(comment):
+            continue
+        match = _PRAGMA.search(comment)
+        if not match:
+            errors.append(
+                (
+                    line,
+                    col,
+                    "unrecognized pragma; expected "
+                    "`# repro: allow[rule-id] reason=...` or "
+                    "`# repro: allow-file[rule-id] reason=...`",
+                )
+            )
+            continue
+        rule = match.group("rule").strip()
+        if rule in META_RULES:
+            errors.append(
+                (line, col, f"meta rule {rule!r} cannot be suppressed")
+            )
+            continue
+        if rule not in known_rules:
+            errors.append(
+                (
+                    line,
+                    col,
+                    f"pragma names unknown rule {rule!r}; known rules: "
+                    + ", ".join(sorted(known_rules)),
+                )
+            )
+            continue
+        reason_match = _REASON.match(match.group("rest").strip())
+        if not reason_match:
+            errors.append(
+                (
+                    line,
+                    col,
+                    f"pragma for {rule!r} is missing its justification; "
+                    "append `reason=<why this use is sound>`",
+                )
+            )
+            continue
+        scope = "file" if match.group("directive") == "allow-file" else "line"
+        pragmas.append(
+            Pragma(
+                line=line,
+                scope=scope,
+                rule=rule,
+                reason=reason_match.group("reason").strip(),
+            )
+        )
+    return pragmas, errors
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one source file."""
+
+    #: Repo-relative posix path; all rule scoping keys on this.
+    rel: str
+    source: str
+    tree: ast.AST
+    pragmas: List[Pragma] = field(default_factory=list)
+    #: ``(line, col, message)`` triples from malformed pragmas.
+    pragma_errors: List[Tuple[int, int, str]] = field(default_factory=list)
+
+    # -- scoping helpers ---------------------------------------------------
+    def under(self, *prefixes: str) -> bool:
+        """True when the file lives under any of the given dir prefixes."""
+        return any(
+            self.rel == p or self.rel.startswith(p.rstrip("/") + "/")
+            for p in prefixes
+        )
+
+    def is_file(self, rel: str) -> bool:
+        return self.rel == rel
+
+    # -- violation factory -------------------------------------------------
+    def violation(
+        self, rule: str, node: ast.AST, message: str
+    ) -> Violation:
+        """Build a violation anchored at ``node``'s position."""
+        return Violation(
+            rule=rule,
+            path=self.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+    def violation_at(
+        self, rule: str, line: int, col: int, message: str
+    ) -> Violation:
+        return Violation(
+            rule=rule, path=self.rel, line=line, col=col, message=message
+        )
+
+    # -- suppression lookup ------------------------------------------------
+    def find_pragma(self, rule: str, line: int) -> Optional[Pragma]:
+        """Line pragma on ``line`` for ``rule``, else a file pragma."""
+        file_hit: Optional[Pragma] = None
+        for pragma in self.pragmas:
+            if pragma.rule != rule:
+                continue
+            if pragma.scope == "line" and pragma.line == line:
+                return pragma
+            if pragma.scope == "file" and file_hit is None:
+                file_hit = pragma
+        return file_hit
+
+
+def build_context(source: str, rel: str, known_rules: Tuple[str, ...]) -> FileContext:
+    """Parse ``source`` into a :class:`FileContext` (raises SyntaxError)."""
+    tree = ast.parse(source, filename=rel)
+    pragmas, errors = parse_pragmas(source, known_rules)
+    return FileContext(
+        rel=rel,
+        source=source,
+        tree=tree,
+        pragmas=pragmas,
+        pragma_errors=errors,
+    )

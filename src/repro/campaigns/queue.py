@@ -124,7 +124,7 @@ class StoreNotEmptyError(RuntimeError):
     ``resume`` keeps the two intents distinguishable.
     """
 
-    def __init__(self, location: str, committed: int, total: int):
+    def __init__(self, location: str, committed: int, total: int) -> None:
         self.location = location
         self.committed = committed
         self.total = total
@@ -138,14 +138,14 @@ class StoreNotEmptyError(RuntimeError):
 
 def _execute_cell(spec: ScenarioSpec, cell: CampaignCell) -> CellOutcome:
     """Run one pre-resolved cell; the worker-side entry point."""
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro: allow[no-wallclock] reason=wall time recorded into the cell result only; never enters simulation state
     row = run_cell(spec)
     return CellOutcome(
         index=cell.index,
         params=dict(cell.params),
         seed=cell.seed,
         row=row,
-        wall_s=time.perf_counter() - start,
+        wall_s=time.perf_counter() - start,  # repro: allow[no-wallclock] reason=reporting-only wall time per cell
     )
 
 
@@ -185,7 +185,7 @@ class WorkQueue:
         campaign: CampaignSpec,
         store: ResultStore,
         lease_ttl: float = DEFAULT_LEASE_TTL,
-        clock: Callable[[], float] = time.time,
+        clock: Callable[[], float] = time.time,  # repro: allow[no-wallclock] reason=lease-TTL clock for crash detection; injectable for tests, outside simulated time
     ) -> None:
         if lease_ttl <= 0:
             raise ValueError(f"lease_ttl must be positive, got {lease_ttl}")
@@ -370,7 +370,7 @@ def queue_status(
     spec = CampaignSpec.from_json_dict(campaign_json)
     committed = store.load()
     leases = store.leases()
-    now = time.time() if now is None else now
+    now = time.time() if now is None else now  # repro: allow[no-wallclock] reason=lease-expiry check against worker heartbeats; injectable for tests
     active = sum(
         1
         for lease in leases.values()

@@ -43,7 +43,7 @@ import sqlite3
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple, Union
 
 __all__ = [
     "CellRecord",
@@ -76,7 +76,7 @@ class SpecHashMismatchError(StoreError):
     life.
     """
 
-    def __init__(self, stored: str, given: str, location: str):
+    def __init__(self, stored: str, given: str, location: str) -> None:
         self.stored = stored
         self.given = given
         self.location = location
@@ -360,7 +360,7 @@ class JsonlStore(ResultStore):
             os.fsync(handle.fileno())
 
     @staticmethod
-    def _iter_jsonl(path: Path):
+    def _iter_jsonl(path: Path) -> "Iterator[Dict[str, Any]]":
         if not path.exists():
             return
         with path.open("r", encoding="utf-8") as handle:

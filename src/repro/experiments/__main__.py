@@ -47,6 +47,7 @@ import argparse
 import sys
 from typing import Dict, List, Optional
 
+from repro.analysis.cli import add_lint_subparser
 from repro.campaigns import (
     CAMPAIGNS,
     CampaignExecutionError,
@@ -751,6 +752,8 @@ def main(argv=None) -> int:
     )
     wdesc_p.add_argument("workload")
     wdesc_p.set_defaults(handler=_cmd_workload_describe)
+
+    add_lint_subparser(sub)
 
     args = parser.parse_args(argv)
     return args.handler(args)

@@ -23,6 +23,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from repro.core.allocation import TokenAllocationAlgorithm
+from repro.sim.rng import RngStreams
 from repro.core.types import AllocationInput
 from repro.metrics.tables import format_table
 
@@ -51,7 +52,7 @@ class ShapeCheck:
 
 def _synthetic_inputs(n_jobs: int, rounds: int) -> List[AllocationInput]:
     """Deterministic demand histories exercising all three steps."""
-    rng = np.random.default_rng(n_jobs)
+    rng = RngStreams(seed=n_jobs).get("overhead.demands")
     nodes = {f"job{i}": int(rng.integers(1, 32)) for i in range(n_jobs)}
     inputs = []
     for _ in range(rounds):
@@ -74,10 +75,10 @@ def time_allocation(n_jobs: int, rounds: int = 20) -> float:
     inputs = _synthetic_inputs(n_jobs, rounds)
     algo = TokenAllocationAlgorithm()
     algo.allocate(inputs[0])  # warm up (first round has no history)
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro: allow[no-wallclock] reason=timing the allocator is this experiment's purpose (paper SIV-G)
     for inp in inputs:
         algo.allocate(inp)
-    return (time.perf_counter() - start) / rounds
+    return (time.perf_counter() - start) / rounds  # repro: allow[no-wallclock] reason=wall time is the measured quantity, quarantined to the report
 
 
 def run(

@@ -51,6 +51,22 @@ class IoHandle:
         Maximum RPCs in flight for :meth:`write`.
     """
 
+    __slots__ = (
+        "env",
+        "network",
+        "oss",
+        "job_id",
+        "client_id",
+        "rpc_size",
+        "window",
+        "layout",
+        "_offset",
+        "rpcs_issued",
+        "bytes_written",
+        "bytes_read",
+        "_stream_seq",
+    )
+
     def __init__(
         self,
         env: "Environment",
@@ -170,6 +186,8 @@ class ClientProcess:
         A callable ``program(io) -> generator`` — typically the bound
         ``program`` method of a workload pattern.
     """
+
+    __slots__ = ("io", "process")
 
     def __init__(
         self,

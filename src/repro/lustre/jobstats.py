@@ -31,7 +31,7 @@ from repro.lustre.rpc import Rpc
 __all__ = ["JobStatsTracker", "JobStatsSnapshot"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JobStatsSnapshot:
     """Immutable per-job counters for one observation period."""
 
@@ -48,6 +48,16 @@ class JobStatsSnapshot:
 
 class JobStatsTracker:
     """Accumulates per-job counters between controller sweeps."""
+
+    __slots__ = (
+        "_arrived",
+        "_served",
+        "_bytes_arrived",
+        "_bytes_served",
+        "_lifetime_arrived",
+        "_lifetime_served",
+        "_lifetime_bytes",
+    )
 
     def __init__(self) -> None:
         self._arrived: Dict[str, int] = {}

@@ -34,6 +34,15 @@ class Network:
         datacenter RTT/2).
     """
 
+    __slots__ = (
+        "env",
+        "latency_s",
+        "_rpcs_carried",
+        "_deliver_cb",
+        "_reply_cb",
+        "_finish_cb",
+    )
+
     def __init__(self, env: "Environment", latency_s: float = 100e-6) -> None:
         if latency_s < 0:
             raise ValueError(f"latency must be >= 0, got {latency_s}")

@@ -37,6 +37,8 @@ __all__ = ["NrsPolicy", "FifoPolicy", "TbfPolicy"]
 class NrsPolicy(ABC):
     """Interface between the OSS thread pool and a request ordering policy."""
 
+    __slots__ = ("env", "_arrival")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self._arrival = Event(env)
@@ -90,6 +92,8 @@ class FifoPolicy(NrsPolicy):
     failure mode the paper's introduction motivates.
     """
 
+    __slots__ = ("_queue",)
+
     def __init__(self, env: "Environment") -> None:
         super().__init__(env)
         self._queue: Deque[Rpc] = deque()
@@ -131,6 +135,8 @@ class TbfPolicy(NrsPolicy):
     settles run vectorized.  Per-op arithmetic is bit-identical either
     way, so the choice never shows up in event traces or figures.
     """
+
+    __slots__ = ("scheduler",)
 
     def __init__(self, env: "Environment") -> None:
         super().__init__(env)

@@ -55,6 +55,17 @@ class Oss:
         (request handling, bulk setup).  Zero by default.
     """
 
+    __slots__ = (
+        "env",
+        "ost",
+        "policy",
+        "io_threads",
+        "rpc_overhead_s",
+        "jobstats",
+        "_on_complete",
+        "_completed_rpcs",
+    )
+
     def __init__(
         self,
         env: "Environment",

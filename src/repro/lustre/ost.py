@@ -48,6 +48,20 @@ class Ost:
     1024 tokens/s of sustained service.
     """
 
+    __slots__ = (
+        "env",
+        "name",
+        "capacity_bps",
+        "_remaining",
+        "_sizes",
+        "_done_events",
+        "_ids",
+        "_last",
+        "_check_timer",
+        "_on_check_cb",
+        "_bytes_served",
+    )
+
     def __init__(self, env: "Environment", name: str, capacity_bps: float) -> None:
         if capacity_bps <= 0:
             raise ValueError(f"capacity must be positive, got {capacity_bps}")

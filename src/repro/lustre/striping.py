@@ -34,6 +34,8 @@ class StripeLayout:
         wholly on one OST.
     """
 
+    __slots__ = ("targets", "stripe_size")
+
     def __init__(self, targets: Sequence["Oss"], stripe_size: int = 1 << 20):
         if not targets:
             raise ValueError("a layout needs at least one target")

@@ -35,6 +35,7 @@ introspection surface the controllers sample stays O(1) per call.
 
 from __future__ import annotations
 
+# repro: allow-file[calendar-seam-only] reason=heapq here orders TBF rule deadlines (Eq. 1 virtual finish times), not simulation events; the event calendar stays behind repro.sim.backends
 import heapq
 import itertools
 import math
@@ -51,7 +52,7 @@ __all__ = ["TbfRule", "TbfScheduler", "DEFAULT_BUCKET_DEPTH"]
 DEFAULT_BUCKET_DEPTH = 3.0
 
 
-@dataclass
+@dataclass(slots=True)
 class TbfRule:
     """One TBF rule: JobID → token rate.
 
@@ -85,7 +86,7 @@ class TbfRule:
             raise ValueError(f"rule depth must be > 0, got {self.depth}")
 
 
-@dataclass
+@dataclass(slots=True)
 class _TbfQueue:
     """Internal per-rule queue state.
 
@@ -121,6 +122,19 @@ class TbfScheduler:
         :class:`~repro.lustre.nrs.TbfPolicy`; pass ``None`` (default) for
         standalone buckets.
     """
+
+    __slots__ = (
+        "_bank",
+        "_rules",
+        "_by_job",
+        "_fallback",
+        "_heap",
+        "_seq",
+        "_served_with_token",
+        "_served_fallback",
+        "_pending_total",
+        "_fallback_counts",
+    )
 
     def __init__(self, bucket_bank: Optional[BucketArray] = None) -> None:
         self._bank = bucket_bank

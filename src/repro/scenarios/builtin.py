@@ -38,6 +38,7 @@ from repro.workloads.patterns import (
     TraceReplayPattern,
 )
 from repro.workloads.registry import WORKLOADS
+from repro.sim.rng import RngStreams
 from repro.workloads.trace import EXAMPLE_TRACE, load_trace, records_by_job
 
 __all__ = ["REGISTRY"]
@@ -652,13 +653,11 @@ def _poisson_storm(
     interval_s:
         Controller observation period.
     """
-    import random as _random
-
     if n_jobs <= 0:
         raise ValueError("n_jobs must be positive")
     if duration_s <= 0:
         raise ValueError("duration_s must be positive")
-    rng = _random.Random(seed)
+    rng = RngStreams(seed=seed).get_stdlib("scenario.poisson-storm")
     jobs = []
     for index in range(1, n_jobs + 1):
         nodes = rng.randint(1, 8)

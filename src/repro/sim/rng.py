@@ -9,6 +9,7 @@ for reproducible simulation studies.
 from __future__ import annotations
 
 import hashlib
+import random
 from typing import Dict
 
 try:  # pragma: no cover - exercised via the no-numpy CI leg
@@ -40,11 +41,14 @@ class RngStreams:
     True
     """
 
+    __slots__ = ("seed", "_streams", "_stdlib_streams")
+
     def __init__(self, seed: int = 0) -> None:
         if not isinstance(seed, int):
             raise TypeError(f"seed must be an int, got {type(seed).__name__}")
         self.seed = seed
         self._streams: Dict[str, "np.random.Generator"] = {}
+        self._stdlib_streams: Dict[str, random.Random] = {}
 
     def get(self, name: str) -> "np.random.Generator":
         """Return the (cached) generator for ``name``."""
@@ -56,6 +60,20 @@ class RngStreams:
         if name not in self._streams:
             self._streams[name] = np.random.default_rng(self._derive(name))
         return self._streams[name]
+
+    def get_stdlib(self, name: str) -> random.Random:
+        """Return the (cached) stdlib :class:`random.Random` for ``name``.
+
+        Spec-construction layers (scenario generators, campaign grids) must
+        stay importable without numpy, so they draw from this stdlib twin of
+        :meth:`get`.  The substream seed comes from the same BLAKE2b
+        derivation, so the named-substream discipline — one root seed, one
+        independent stream per component name — is identical; only the
+        generator API differs.
+        """
+        if name not in self._stdlib_streams:
+            self._stdlib_streams[name] = random.Random(self._derive(name))
+        return self._stdlib_streams[name]
 
     def _derive(self, name: str) -> int:
         """Derive a 64-bit child seed from the root seed and ``name``.

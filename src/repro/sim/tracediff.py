@@ -46,7 +46,7 @@ TraceEntry = Tuple[float, int, int, str]
 _CONTEXT = 3
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Divergence:
     """The first position where two dispatch streams disagree."""
 
@@ -58,7 +58,7 @@ class Divergence:
     right: Optional[TraceEntry]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DiffReport:
     """Outcome of comparing one scenario under two backends."""
 

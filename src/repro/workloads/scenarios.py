@@ -25,7 +25,6 @@ substrate-appropriate volume.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -35,6 +34,7 @@ from repro.workloads.patterns import (
     SequentialWritePattern,
 )
 from repro.workloads.spec import JobSpec, ProcessSpec
+from repro.sim.rng import RngStreams
 
 __all__ = [
     "BENCH_SCALE",
@@ -271,15 +271,16 @@ def scenario_burst_storm(
     """Mixed-priority burst storm: many jobs, randomized shapes (seeded).
 
     ``n_jobs`` bursty jobs with node counts (priorities), burst volumes,
-    cadences, process counts and phase offsets all drawn from
-    ``random.Random(seed)`` — the adversarial many-tenant regime none of the
+    cadences, process counts and phase offsets all drawn from a named
+    :class:`~repro.sim.rng.RngStreams` substream — the adversarial
+    many-tenant regime none of the
     paper's fixed four-job scripts could express.  An optional low-priority
     continuous hog keeps the OST saturated between bursts so redistribution
     stays observable.  The same seed always yields the identical job mix.
     """
     if n_jobs <= 0:
         raise ValueError("n_jobs must be positive")
-    rng = random.Random(seed)
+    rng = RngStreams(seed=seed).get_stdlib("scenario.burst-storm")
     duration = cfg.secs(duration_s)
     jobs: List[JobSpec] = []
     for idx in range(1, n_jobs + 1):
@@ -341,14 +342,15 @@ def scenario_elastic_churn(
     writes a fixed volume and departs, so the active set repeatedly grows
     and shrinks — continuous arrival *and* departure churn, where the
     paper's scripts only ever shrink (§IV-D) or hold steady (§IV-E/F).
-    Node counts are drawn per job from ``random.Random(seed)``, so every
-    wave mixes priorities.
+    Node counts are drawn per job from a named
+    :class:`~repro.sim.rng.RngStreams` substream, so every wave mixes
+    priorities.
     """
     if waves <= 0 or jobs_per_wave <= 0:
         raise ValueError("waves and jobs_per_wave must be positive")
     if wave_gap_s <= 0:
         raise ValueError("wave_gap_s must be positive")
-    rng = random.Random(seed)
+    rng = RngStreams(seed=seed).get_stdlib("scenario.elastic-churn")
     jobs: List[JobSpec] = []
     for wave in range(waves):
         arrival_s = cfg.secs(wave * wave_gap_s)

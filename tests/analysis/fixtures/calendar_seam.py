@@ -1,0 +1,7 @@
+"""Fixture: one calendar-seam-only violation (heappush past the seam)."""
+
+import heapq
+
+
+def sneak(calendar, entry) -> None:
+    heapq.heappush(calendar, entry)

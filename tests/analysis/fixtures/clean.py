@@ -1,0 +1,26 @@
+"""Fixture: a module every rule accepts.
+
+Randomness comes from a named substream, iteration over sets is sorted,
+the spec is frozen and slotted, the hot-path class declares __slots__.
+"""
+
+from dataclasses import dataclass
+
+from repro.sim.rng import RngStreams
+
+
+@dataclass(frozen=True, slots=True)
+class ShapeSpec:
+    nodes: int = 1
+
+
+class Walker:
+    __slots__ = ("pos",)
+
+    def __init__(self) -> None:
+        self.pos = 0
+
+
+def shapes(seed: int, job_ids) -> list:
+    rng = RngStreams(seed=seed).get_stdlib("fixture.shapes")
+    return [ShapeSpec(nodes=rng.randint(1, 8)) for _ in sorted(set(job_ids))]

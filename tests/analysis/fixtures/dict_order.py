@@ -1,0 +1,5 @@
+"""Fixture: one no-dict-order-leak violation (set feeding a list)."""
+
+
+def job_ids(rows):
+    return list({row.job_id for row in rows})

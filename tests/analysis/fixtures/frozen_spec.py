@@ -1,0 +1,8 @@
+"""Fixture: one frozen-spec-integrity violation (mutable spec dataclass)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RetrySpec:
+    limit: int = 3

@@ -1,0 +1,6 @@
+"""Fixture: one hot-path-slots violation (dict-carrying class)."""
+
+
+class Cursor:
+    def __init__(self) -> None:
+        self.pos = 0

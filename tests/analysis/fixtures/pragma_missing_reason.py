@@ -1,0 +1,5 @@
+"""Fixture: pragma-syntax violation (mandatory reason= omitted)."""
+
+import time
+
+NOW = time.time()  # repro: allow[no-wallclock]

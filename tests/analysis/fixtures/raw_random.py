@@ -1,0 +1,7 @@
+"""Fixture: one no-raw-random violation (the uniform draw below)."""
+
+import random
+
+
+def burst_gap() -> float:
+    return random.uniform(2.0, 6.0)

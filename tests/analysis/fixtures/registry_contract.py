@@ -1,0 +1,15 @@
+"""Fixture: one registry-factory-contract violation (documented typo)."""
+
+from repro.scenarios.registry import REGISTRY
+
+
+@REGISTRY.register("fixture-demo")
+def make(n_jobs: int = 2):
+    """Demo factory.
+
+    Parameters
+    ----------
+    n_josb:
+        Typo: the signature only has ``n_jobs``.
+    """
+    return n_jobs

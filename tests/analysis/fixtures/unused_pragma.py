@@ -1,0 +1,3 @@
+"""Fixture: one unused-suppression violation (nothing left to excuse)."""
+
+ANSWER = 42  # repro: allow[no-raw-random] reason=the violation was fixed but the pragma stayed

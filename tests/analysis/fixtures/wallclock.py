@@ -1,0 +1,7 @@
+"""Fixture: one no-wallclock violation (the perf_counter read below)."""
+
+from time import perf_counter
+
+
+def stamp() -> float:
+    return perf_counter()

@@ -1,0 +1,133 @@
+"""CLI surface: exit codes, formats, artifacts, and both entry points.
+
+``repro lint run`` must exit 0 on a clean tree and 2 (EXIT_VIOLATIONS) on
+a dirty one — distinct from argparse's 1 — because CI tells "findings"
+from "bad invocation" by exit status.  The same subcommand is mounted on
+the unified experiments CLI and standalone ``python -m repro.analysis``.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import EXIT_VIOLATIONS, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BAD = "import random\nx = random.random()\n"
+
+
+@pytest.fixture
+def dirty_tree(tmp_path):
+    (tmp_path / "src" / "repro").mkdir(parents=True)
+    (tmp_path / "src" / "repro" / "bad.py").write_text(BAD)
+    return tmp_path
+
+
+@pytest.fixture
+def clean_tree(tmp_path):
+    (tmp_path / "src").mkdir()
+    (tmp_path / "src" / "ok.py").write_text("x = 1\n")
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_exits_zero(self, clean_tree, capsys):
+        assert main(["lint", "run", "--root", str(clean_tree)]) == 0
+        assert "0 violation(s)" in capsys.readouterr().out
+
+    def test_violations_exit_two(self, dirty_tree, capsys):
+        code = main(["lint", "run", "--root", str(dirty_tree)])
+        assert code == EXIT_VIOLATIONS
+        out = capsys.readouterr().out
+        assert "src/repro/bad.py:2:5: [no-raw-random]" in out
+
+    def test_missing_target_is_usage_error(self, clean_tree):
+        with pytest.raises(SystemExit):
+            main(["lint", "run", "nope/", "--root", str(clean_tree)])
+
+    def test_unknown_rule_in_describe(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "describe", "no-such-rule"])
+
+
+class TestFormats:
+    def test_json_output_parses(self, dirty_tree, capsys):
+        main(["lint", "run", "--format", "json", "--root", str(dirty_tree)])
+        data = json.loads(capsys.readouterr().out)
+        assert data["version"] == 1 and data["ok"] is False
+        assert data["violations"][0]["rule"] == "no-raw-random"
+
+    def test_out_writes_artifact(self, dirty_tree, tmp_path, capsys):
+        artifact = tmp_path / "lint.json"
+        code = main(
+            [
+                "lint",
+                "run",
+                "--format",
+                "json",
+                "--out",
+                str(artifact),
+                "--root",
+                str(dirty_tree),
+            ]
+        )
+        assert code == EXIT_VIOLATIONS  # writing a report never masks findings
+        data = json.loads(artifact.read_text())
+        assert data["ok"] is False
+
+    def test_out_text_echoes_violations_to_stderr(self, dirty_tree, tmp_path, capsys):
+        artifact = tmp_path / "lint.txt"
+        main(["lint", "run", "--out", str(artifact), "--root", str(dirty_tree)])
+        captured = capsys.readouterr()
+        assert "no-raw-random" in captured.err
+
+    def test_rule_filter(self, dirty_tree, capsys):
+        code = main(
+            [
+                "lint",
+                "run",
+                "--rule",
+                "no-wallclock",
+                "--root",
+                str(dirty_tree),
+            ]
+        )
+        assert code == 0  # the only violation is a no-raw-random one
+
+
+class TestListAndDescribe:
+    def test_list_names_every_rule(self, capsys):
+        from repro.analysis import RULES
+
+        assert main(["lint", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in RULES.names():
+            assert name in out
+
+    def test_describe_shows_contract(self, capsys):
+        assert main(["lint", "describe", "no-raw-random"]) == 0
+        out = capsys.readouterr().out
+        assert "RngStreams" in out
+        assert "Example" in out
+
+
+class TestEntryPoints:
+    """Both console entry points mount the same subcommand tree."""
+
+    @pytest.mark.parametrize(
+        "module", ["repro.analysis", "repro.experiments"]
+    )
+    def test_module_invocation(self, module, dirty_tree):
+        proc = subprocess.run(
+            [sys.executable, "-m", module, "lint", "run", "--root", str(dirty_tree)],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == EXIT_VIOLATIONS
+        assert "no-raw-random" in proc.stdout

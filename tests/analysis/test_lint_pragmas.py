@@ -1,0 +1,141 @@
+"""Suppression-pragma semantics: scoping, bookkeeping and validation.
+
+The pragma grammar is deliberately rigid — ``# repro: allow[rule-id]
+reason=<why>`` — because a suppression that *looks* accepted but is
+silently ignored would be worse than no suppression at all.  These tests
+pin the whole lifecycle: a pragma must match a real violation (else it is
+an ``unused-suppression`` violation itself), must carry a reason, must
+name a known, non-meta rule, and file-scope pragmas must cover the whole
+module while line pragmas cover one line only.
+"""
+
+from repro.analysis import lint_source
+from repro.analysis.model import META_RULES, parse_pragmas
+
+BAD_DRAW = "import random\nx = random.random()\n"
+REL = "src/repro/core/demo.py"
+
+
+def rules_of(violations):
+    return sorted(v.rule for v in violations)
+
+
+class TestLinePragmas:
+    def test_suppresses_same_line(self):
+        src = (
+            "import random\n"
+            "x = random.random()"
+            "  # repro: allow[no-raw-random] reason=test fixture\n"
+        )
+        assert lint_source(src, rel=REL) == []
+
+    def test_does_not_leak_to_other_lines(self):
+        src = (
+            "import random\n"
+            "x = random.random()"
+            "  # repro: allow[no-raw-random] reason=this line only\n"
+            "y = random.random()\n"
+        )
+        (v,) = lint_source(src, rel=REL)
+        assert (v.rule, v.line) == ("no-raw-random", 3)
+
+    def test_wrong_rule_does_not_suppress(self):
+        src = (
+            "import random\n"
+            "x = random.random()"
+            "  # repro: allow[no-wallclock] reason=names the wrong rule\n"
+        )
+        # The mismatched pragma suppresses nothing, so both the original
+        # violation and the unused suppression are reported.
+        assert rules_of(lint_source(src, rel=REL)) == [
+            "no-raw-random",
+            "unused-suppression",
+        ]
+
+
+class TestFilePragmas:
+    def test_covers_whole_module(self):
+        src = (
+            "# repro: allow-file[no-raw-random] reason=test fixture\n"
+            "import random\n"
+            "x = random.random()\n"
+            "y = random.random()\n"
+        )
+        assert lint_source(src, rel=REL) == []
+
+    def test_only_named_rule(self):
+        src = (
+            "# repro: allow-file[no-raw-random] reason=random only\n"
+            "import random\n"
+            "import time\n"
+            "x = random.random()\n"
+            "t = time.time()\n"
+        )
+        assert rules_of(lint_source(src, rel=REL)) == ["no-wallclock"]
+
+
+class TestUnusedSuppressions:
+    def test_stale_line_pragma_is_a_violation(self):
+        src = "x = 1  # repro: allow[no-raw-random] reason=fixed long ago\n"
+        (v,) = lint_source(src, rel=REL)
+        assert (v.rule, v.line) == ("unused-suppression", 1)
+        assert "no-raw-random" in v.message
+
+    def test_stale_file_pragma_is_a_violation(self):
+        src = "# repro: allow-file[no-wallclock] reason=stale\nx = 1\n"
+        (v,) = lint_source(src, rel=REL)
+        assert v.rule == "unused-suppression"
+
+    def test_used_pragma_is_not_flagged(self):
+        src = (
+            "import random\n"
+            "x = random.random()"
+            "  # repro: allow[no-raw-random] reason=used\n"
+        )
+        assert lint_source(src, rel=REL) == []
+
+
+class TestPragmaSyntax:
+    def test_missing_reason(self):
+        src = "import random\nx = random.random()  # repro: allow[no-raw-random]\n"
+        assert rules_of(lint_source(src, rel=REL)) == [
+            "no-raw-random",
+            "pragma-syntax",
+        ]
+
+    def test_unknown_rule_id(self):
+        src = "x = 1  # repro: allow[not-a-rule] reason=typo\n"
+        (v,) = lint_source(src, rel=REL)
+        assert v.rule == "pragma-syntax"
+        assert "not-a-rule" in v.message
+
+    def test_garbled_directive(self):
+        src = "x = 1  # repro: alow[no-raw-random] reason=typo\n"
+        (v,) = lint_source(src, rel=REL)
+        assert v.rule == "pragma-syntax"
+
+    def test_meta_rules_cannot_be_suppressed(self):
+        for meta in META_RULES:
+            src = f"x = 1  # repro: allow[{meta}] reason=nope\n"
+            violations = lint_source(src, rel=REL)
+            assert any(v.rule == "pragma-syntax" for v in violations), meta
+
+    def test_plain_comments_are_ignored(self):
+        src = "x = 1  # an ordinary comment mentioning repro stuff\n"
+        assert lint_source(src, rel=REL) == []
+
+
+class TestParsePragmas:
+    def test_parse_extracts_scope_rule_reason(self):
+        src = (
+            "# repro: allow-file[no-wallclock] reason=whole file\n"
+            "x = 1  # repro: allow[no-raw-random] reason=one line\n"
+        )
+        pragmas, errors = parse_pragmas(
+            src, known_rules={"no-wallclock", "no-raw-random"}
+        )
+        assert errors == []
+        by_scope = {p.scope: p for p in pragmas}
+        assert by_scope["file"].rule == "no-wallclock"
+        assert by_scope["line"].line == 2
+        assert by_scope["line"].reason == "one line"

@@ -1,0 +1,179 @@
+"""Per-rule fixture tests: exact rule-id / line / column expectations.
+
+Each fixture module under ``fixtures/`` carries exactly one deliberate
+violation (see its README); linting it under a pretend ``src/repro/...``
+path must report that violation at the exact position, and the clean
+fixture must report nothing.  Positions are 1-based (line and column),
+matching the ``path:line:col`` report format editors understand.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: fixture file -> (pretend repo path, expected (rule, line, col) tuples)
+EXPECTATIONS = {
+    "raw_random.py": (
+        "src/repro/workloads/raw_random.py",
+        [("no-raw-random", 7, 12)],
+    ),
+    "wallclock.py": (
+        "src/repro/core/wallclock.py",
+        [("no-wallclock", 7, 12)],
+    ),
+    "calendar_seam.py": (
+        "src/repro/lustre/calendar_seam.py",
+        [("calendar-seam-only", 7, 5)],
+    ),
+    "dict_order.py": (
+        "src/repro/metrics/dict_order.py",
+        [("no-dict-order-leak", 5, 17)],
+    ),
+    "frozen_spec.py": (
+        "src/repro/campaigns/frozen_spec.py",
+        [("frozen-spec-integrity", 7, 1)],
+    ),
+    "registry_contract.py": (
+        "src/repro/scenarios/registry_contract.py",
+        [("registry-factory-contract", 7, 1)],
+    ),
+    "hot_path_slots.py": (
+        "src/repro/lustre/hot_path_slots.py",
+        [("hot-path-slots", 4, 1)],
+    ),
+    "unused_pragma.py": (
+        "src/repro/core/unused_pragma.py",
+        [("unused-suppression", 3, 1)],
+    ),
+    "pragma_missing_reason.py": (
+        "src/repro/core/pragma_missing_reason.py",
+        # The malformed pragma suppresses nothing, so the underlying
+        # violation surfaces alongside the syntax finding.
+        [("no-wallclock", 5, 7), ("pragma-syntax", 5, 20)],
+    ),
+    "clean.py": ("src/repro/lustre/clean.py", []),
+}
+
+
+def lint_fixture(name: str):
+    rel, _ = EXPECTATIONS[name]
+    return lint_source((FIXTURES / name).read_text(), rel=rel)
+
+
+class TestFixtureExpectations:
+    @pytest.mark.parametrize("name", sorted(EXPECTATIONS))
+    def test_exact_positions(self, name):
+        _, expected = EXPECTATIONS[name]
+        got = [(v.rule, v.line, v.col) for v in lint_fixture(name)]
+        assert got == expected
+
+    def test_every_rule_has_a_fixture(self):
+        from repro.analysis import RULES
+
+        covered = {
+            rule
+            for _, expected in EXPECTATIONS.values()
+            for rule, _, _ in expected
+        }
+        assert covered == set(RULES.names())
+
+    def test_violation_formatting(self):
+        (v,) = lint_fixture("raw_random.py")
+        assert v.format() == (
+            "src/repro/workloads/raw_random.py:7:12: [no-raw-random] "
+            + v.message
+        )
+        assert "RngStreams" in v.message
+
+
+class TestScoping:
+    """The determinism rules guard src/repro/ only (rng.py is sanctioned)."""
+
+    def test_tests_are_out_of_scope(self):
+        bad = (FIXTURES / "raw_random.py").read_text()
+        assert lint_source(bad, rel="tests/workloads/raw_random.py") == []
+
+    def test_rng_module_is_sanctioned(self):
+        bad = (FIXTURES / "raw_random.py").read_text()
+        assert lint_source(bad, rel="src/repro/sim/rng.py") == []
+
+    def test_backends_owns_the_calendar(self):
+        bad = (FIXTURES / "calendar_seam.py").read_text()
+        assert lint_source(bad, rel="src/repro/sim/backends.py") == []
+
+    def test_slots_rule_scoped_to_hot_packages(self):
+        bad = (FIXTURES / "hot_path_slots.py").read_text()
+        assert lint_source(bad, rel="src/repro/campaigns/cursor.py") == []
+
+
+class TestRuleEdgeCases:
+    def test_import_alias_resolution(self):
+        src = "import numpy as np\nx = np.random.default_rng(0)\n"
+        (v,) = lint_source(src, rel="src/repro/core/alias.py")
+        assert v.rule == "no-raw-random"
+        assert "numpy.random.default_rng" in v.message
+
+    def test_from_import_resolution(self):
+        src = "from time import monotonic\nt = monotonic()\n"
+        (v,) = lint_source(src, rel="src/repro/core/clock.py")
+        assert v.rule == "no-wallclock"
+
+    def test_outermost_chain_reported_once(self):
+        src = "import numpy\nr = numpy.random.default_rng(1)\n"
+        violations = lint_source(src, rel="src/repro/core/chain.py")
+        assert len(violations) == 1
+
+    def test_sorted_set_is_fine(self):
+        src = "def f(xs):\n    return list(sorted(set(xs)))\n"
+        assert lint_source(src, rel="src/repro/metrics/ok.py") == []
+
+    def test_set_union_into_loop_flagged(self):
+        src = "def f(a, b):\n    for x in set(a) | set(b):\n        print(x)\n"
+        (v,) = lint_source(src, rel="src/repro/metrics/union.py")
+        assert v.rule == "no-dict-order-leak"
+
+    def test_exception_classes_exempt_from_slots(self):
+        src = (
+            "class BoomError(ValueError):\n"
+            "    def __init__(self, msg):\n"
+            "        self.msg = msg\n"
+            "        super().__init__(msg)\n"
+        )
+        assert lint_source(src, rel="src/repro/sim/errors.py") == []
+
+    def test_frozen_spec_lambda_default_flagged(self):
+        src = (
+            "from dataclasses import dataclass, field\n"
+            "@dataclass(frozen=True)\n"
+            "class HookSpec:\n"
+            "    fn: object = field(default_factory=lambda: None)\n"
+        )
+        (v,) = lint_source(src, rel="src/repro/campaigns/hook.py")
+        assert v.rule == "frozen-spec-integrity"
+        assert "lambda" in v.message
+
+    def test_lambda_in_spec_method_is_fine(self):
+        src = (
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class SortSpec:\n"
+            "    key: str = 'x'\n"
+            "    def order(self, rows):\n"
+            "        return sorted(rows, key=lambda r: r.t)\n"
+        )
+        assert lint_source(src, rel="src/repro/campaigns/sort.py") == []
+
+    def test_registered_factory_missing_default_flagged(self):
+        src = (
+            "from repro.scenarios.registry import REGISTRY\n"
+            "@REGISTRY.register('x')\n"
+            "def make(n_jobs):\n"
+            "    return n_jobs\n"
+        )
+        (v,) = lint_source(src, rel="src/repro/scenarios/x.py")
+        assert v.rule == "registry-factory-contract"
+        assert "no default" in v.message

@@ -1,0 +1,50 @@
+"""Every lint rule's documented Example executes verbatim.
+
+``repro lint describe RULE`` prints the rule's docstring, whose
+``Example`` block shows a minimal violating snippet and (usually) its
+fixed or pragma'd twin.  Same contract as ``docs/extending.md``: if the
+documented behaviour drifts from the implementation, this suite fails —
+the assertions inside each block run against the real linter.
+"""
+
+import inspect
+import re
+
+import pytest
+
+from repro.analysis import RULES
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def blocks_for(rule_id: str):
+    doc = inspect.getdoc(RULES.get(rule_id).factory) or ""
+    return _FENCE.findall(doc)
+
+
+class TestRuleExamples:
+    @pytest.mark.parametrize("rule_id", RULES.names())
+    def test_every_rule_documents_an_example(self, rule_id):
+        assert blocks_for(rule_id), f"rule {rule_id!r} has no ```python example"
+
+    @pytest.mark.parametrize("rule_id", RULES.names())
+    def test_examples_execute_verbatim(self, rule_id):
+        for index, block in enumerate(blocks_for(rule_id)):
+            try:
+                exec(
+                    compile(block, f"<{rule_id} example {index}>", "exec"), {}
+                )
+            except Exception as exc:  # pragma: no cover - failure reporting
+                pytest.fail(
+                    f"rule {rule_id!r} example {index} no longer runs: "
+                    f"{type(exc).__name__}: {exc}\n---\n{block}"
+                )
+
+    @pytest.mark.parametrize("rule_id", RULES.names())
+    def test_examples_assert_something(self, rule_id):
+        # An example without assertions can't catch drift.
+        assert any("assert" in b for b in blocks_for(rule_id))
+
+    def test_describe_includes_the_example(self):
+        text = RULES.describe("no-wallclock")
+        assert "Example" in text and "lint_source" in text
