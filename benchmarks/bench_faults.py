@@ -1,0 +1,105 @@
+"""Bench the fault axis: chaos-shootout wall time and injection overhead.
+
+Runs the ``chaos-shootout`` built-in (three mechanisms under an OST crash)
+through :func:`repro.campaigns.run_campaign` and a single faulted scenario
+against its fault-free twin, and emits ``BENCH_chaos.json`` (to the
+invocation directory, or ``$BENCH_JSON_DIR``): per-mechanism recovery
+time, fairness-under-failure and drop/retry counts, plus the relative
+wall-time cost of having an injector in the event loop — the injector
+drivers are ordinary simulation processes, so that cost must stay
+noise-level.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.campaigns import CAMPAIGNS, run_campaign
+from repro.cluster.builder import build
+from repro.cluster.experiment import execute
+from repro.metrics.report import format_chaos_table
+from repro.scenarios import REGISTRY
+
+_RESULTS = {}
+
+
+def _small_spec(fault=None):
+    spec = REGISTRY.build(
+        "quickstart", file_mib=64.0, procs=4, capacity_mib_s=512.0
+    )
+    if fault is not None:
+        spec = spec.with_fault(fault, {"start_s": 0.2, "duration_s": 0.2})
+    return spec
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_bench_json():
+    """Write BENCH_chaos.json after the module's benches finish."""
+    yield
+    out = Path(os.environ.get("BENCH_JSON_DIR", ".")) / "BENCH_chaos.json"
+    out.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
+
+
+def test_chaos_shootout(benchmark, print_report):
+    # static's rigid 20% hog share needs ~5.4 simulated seconds; lift the
+    # duration cap so every mechanism's clients finish.
+    campaign = CAMPAIGNS.build(
+        "chaos-shootout", mechanisms="adaptbf,none,static", duration_s=8.0
+    )
+    result = benchmark.pedantic(
+        run_campaign, args=(campaign,), kwargs={"jobs": 1}, rounds=1, iterations=1
+    )
+    assert len(result.outcomes) == campaign.n_cells
+    _RESULTS["chaos_shootout"] = {
+        "campaign": result.campaign.name,
+        "spec_hash": result.campaign.spec_hash(),
+        "fault": result.campaign.base_params["fault"],
+        "cells": len(result.outcomes),
+        "wall_s": result.wall_s,
+        "cells_per_s": result.cells_per_s,
+        "rows": {
+            row.mechanism: {
+                "recovery_s": row.recovery_s,
+                "fairness_during": row.fairness_during,
+                "fairness_after": row.fairness_after,
+                "rpcs_dropped": row.rpcs_dropped,
+                "rpcs_retried": row.rpcs_retried,
+                "aggregate_mib_s": row.aggregate_mib_s,
+            }
+            for row in result.rows
+        },
+    }
+    for row in result.rows:
+        assert row.clients_finished
+        assert row.rpcs_dropped > 0
+    print_report(format_chaos_table(result))
+
+
+def test_fault_injection_overhead(benchmark):
+    """A crash window's wall-time cost over the fault-free twin run."""
+    import time
+
+    def run_once(fault):
+        cluster = build(_small_spec(fault))
+        start = time.perf_counter()
+        result = execute(cluster)
+        return time.perf_counter() - start, cluster, result
+
+    # Warm-up + baseline outside the benchmarked call.
+    baseline_s, _, baseline = run_once(None)
+    assert baseline.clients_finished
+
+    wall_s, cluster, result = benchmark.pedantic(
+        run_once, args=("ost-crash",), rounds=1, iterations=1
+    )
+    assert result.clients_finished
+    assert cluster.rpcs_dropped > 0
+    _RESULTS["injection_overhead"] = {
+        "baseline_wall_s": baseline_s,
+        "faulted_wall_s": wall_s,
+        "rpcs_dropped": cluster.rpcs_dropped,
+        "rpcs_retried": cluster.rpcs_retried,
+        "simulated_s": result.duration_s,
+    }

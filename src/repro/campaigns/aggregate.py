@@ -23,7 +23,7 @@ from typing import Any, Dict, List, Sequence
 
 from repro.cluster.builder import build
 from repro.cluster.experiment import execute
-from repro.metrics.summary import jain_index
+from repro.metrics.summary import jain_index, weighted_jain
 from repro.scenarios.spec import ScenarioSpec
 
 __all__ = [
@@ -86,6 +86,18 @@ class CellRow:
     rate_changes: int
     #: Allocation rounds run, summed over every OST's controller.
     rounds_run: int
+    #: Chaos metrics (zero/identity defaults keep fault-free rows and
+    #: pre-fault-axis stores loading unchanged).  Recovery time: seconds
+    #: past the disturbance window until aggregate throughput first regains
+    #: 90% of its pre-disturbance mean (0.0 when nothing preceded the
+    #: window; the remaining run length when it never recovers).
+    recovery_s: float = 0.0
+    #: Node-weighted Jain over bytes completed during / after the window.
+    fairness_during: float = 1.0
+    fairness_after: float = 1.0
+    #: Crash-aborted in-flight transfers and crash-requeued RPCs.
+    rpcs_dropped: int = 0
+    rpcs_retried: int = 0
 
     @property
     def rule_churn(self) -> int:
@@ -123,7 +135,64 @@ class CellRow:
             "rate_changes": self.rate_changes,
             "rule_churn": self.rule_churn,
             "rounds_run": self.rounds_run,
+            "recovery_s": self.recovery_s,
+            "fairness_during": self.fairness_during,
+            "fairness_after": self.fairness_after,
+            "rpcs_dropped": self.rpcs_dropped,
+            "rpcs_retried": self.rpcs_retried,
         }
+
+
+class _ChaosProbe:
+    """Plain-dict byte bucketing for the fault axis (numpy-free by design).
+
+    Accumulates, per completed RPC, (a) aggregate bytes per timeline bin and
+    (b) per-job bytes during and after the disturbance window.  The window is
+    known statically (``ClusterTopology.fault_window``) before the run, so
+    this is a single pass over the completion stream with no post-hoc
+    re-binning — the same streaming discipline :func:`run_cell` applies to
+    latencies.
+    """
+
+    def __init__(self, window: Any, bin_s: float) -> None:
+        self.start, self.end = window
+        self.bin_s = bin_s
+        self.bins: Dict[int, float] = {}
+        self.during: Dict[str, float] = {}
+        self.after: Dict[str, float] = {}
+
+    def record(self, rpc) -> None:
+        if rpc.completed is None:
+            return
+        size = float(rpc.size_bytes)
+        index = int(rpc.completed / self.bin_s)
+        self.bins[index] = self.bins.get(index, 0.0) + size
+        if self.start <= rpc.completed < self.end:
+            self.during[rpc.job_id] = self.during.get(rpc.job_id, 0.0) + size
+        elif rpc.completed >= self.end:
+            self.after[rpc.job_id] = self.after.get(rpc.job_id, 0.0) + size
+
+    def recovery_s(self, duration_s: float) -> float:
+        """Seconds past the window until 90% of pre-disturbance throughput.
+
+        The pre-disturbance mean is taken over whole bins strictly before
+        the window opens; the scan starts at the first whole bin after it
+        closes (the bin straddling the window edge is partially disturbed).
+        Returns 0.0 when nothing preceded the window and the remaining run
+        length when throughput never comes back.
+        """
+        n_pre = int(self.start / self.bin_s)
+        if n_pre <= 0:
+            return 0.0
+        pre_rate = sum(self.bins.get(i, 0.0) for i in range(n_pre)) / n_pre
+        if pre_rate <= 0:
+            return 0.0
+        first = math.ceil(self.end / self.bin_s)
+        last = int(duration_s / self.bin_s)
+        for index in range(first, last + 1):
+            if self.bins.get(index, 0.0) >= 0.9 * pre_rate:
+                return max(0.0, (index + 1) * self.bin_s - self.end)
+        return max(0.0, duration_s - self.end)
 
 
 def run_cell(spec: ScenarioSpec) -> CellRow:
@@ -145,12 +214,24 @@ def run_cell(spec: ScenarioSpec) -> CellRow:
         if rpc.arrived is not None and rpc.completed is not None:
             latencies.append(rpc.completed - rpc.arrived)
 
+    window = cluster.fault_window()
+    probe = (
+        _ChaosProbe(window, trimmed.bin_s) if window is not None else None
+    )
     for oss in cluster.osses:
         oss.on_complete(record_latency)
+        if probe is not None:
+            oss.on_complete(probe.record)
 
     result = execute(cluster)
 
     weights = {job_id: float(n) for job_id, n in trimmed.nodes.items()}
+    if probe is not None:
+        recovery_s = probe.recovery_s(result.duration_s)
+        fairness_during = weighted_jain(probe.during, weights=weights)
+        fairness_after = weighted_jain(probe.after, weights=weights)
+    else:
+        recovery_s, fairness_during, fairness_after = 0.0, 1.0, 1.0
     p50, p95, p99 = (
         percentile(latencies, q) * 1e3 for q in LATENCY_PERCENTILES
     )
@@ -171,6 +252,11 @@ def run_cell(spec: ScenarioSpec) -> CellRow:
         rules_stopped=sum(h.rules_stopped for h in cluster.handles),
         rate_changes=sum(h.rate_changes for h in cluster.handles),
         rounds_run=sum(h.rounds_run for h in cluster.handles),
+        recovery_s=recovery_s,
+        fairness_during=fairness_during,
+        fairness_after=fairness_after,
+        rpcs_dropped=cluster.rpcs_dropped,
+        rpcs_retried=cluster.rpcs_retried,
     )
 
 

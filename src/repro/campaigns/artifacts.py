@@ -49,6 +49,15 @@ def rerun_command(result: CampaignResult, outcome: CellOutcome) -> str:
     workload = build_params.pop("workload", None)
     if workload is not None:
         parts.append(f"--workload {workload}")
+    backend = build_params.pop("backend", None)
+    if backend is not None:
+        parts.append(f"--backend {backend}")
+    fault = build_params.pop("fault", None)
+    fault_params = build_params.pop("fault_params", None) or {}
+    if fault is not None:
+        parts.append(f"--fault {fault}")
+        for key in sorted(fault_params):
+            parts.append(f"--fault-param {key}={fault_params[key]}")
     for key in sorted(build_params):
         parts.append(f"--param {key}={build_params[key]}")
     return " ".join(parts)

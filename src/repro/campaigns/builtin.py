@@ -14,7 +14,11 @@ The paper's evaluation sweeps, declared once through the campaign engine:
 * ``workload-shootout`` — one mechanism across every registered *workload*
   pattern: the reserved ``workload`` axis swaps each cell's demand shape
   (sequential, bursty, Poisson, on/off, diurnal, trace replay, ...) over a
-  fixed contention structure.
+  fixed contention structure;
+* ``chaos-shootout`` — every registered mechanism under a registered fault
+  (OST crash by default): the reserved ``fault``/``fault_params`` axis
+  subjects one contended workload to a disturbance window and ranks the
+  mechanisms by recovery time and fairness-under-failure.
 
 Axis values arrive as comma-separated factory parameters so any grid is
 reshapeable from the CLI (``--param intervals=0.1,0.25``); defaults target
@@ -226,6 +230,97 @@ def _mechanism_shootout(
         description=(
             "head-to-head mechanism comparison: throughput, fairness and "
             "tail latency per registered mechanism"
+        ),
+    )
+
+
+@CAMPAIGNS.register(
+    "chaos-shootout",
+    description="every registered mechanism under a registered fault",
+)
+def _chaos_shootout(
+    mechanisms: str = "",
+    fault: str = "ost-crash",
+    fault_start_s: float = 0.4,
+    fault_duration_s: float = 0.4,
+    scenario: str = "quickstart",
+    duration_s: float = 4.0,
+    seed: int = 0,
+) -> CampaignSpec:
+    """One cell per mechanism, each run through the same disturbance.
+
+    The reserved ``fault`` axis attaches the named registered injector to
+    every cell (:data:`~repro.faults.FAULTS`; seeded injectors inherit each
+    cell's derived seed), so the sweep answers the question §IV's steady
+    workloads cannot: which mechanism re-converges fastest when an OST
+    crashes, degrades, or the network partitions mid-run?  The campaign
+    report is the ranked recovery-time / fairness-under-failure table, and
+    rows are byte-identical across ``--jobs`` like any other campaign.
+
+    Parameters
+    ----------
+    mechanisms:
+        Comma-separated mechanism registry names; empty pits *every*
+        registered mechanism against the fault.
+    fault:
+        Registered fault injector every cell runs under.
+    fault_start_s / fault_duration_s:
+        Disturbance window, forwarded as ``fault_params`` overrides
+        (injectors share the ``start_s``/``duration_s`` vocabulary).
+    scenario:
+        Base registered scenario providing the contended workload.
+    duration_s:
+        Simulated-duration cap so a cell whose clients never re-finish
+        (e.g. under a long partition) still terminates; 0 disables it.
+    seed:
+        Campaign seed; derives each cell's seed (churn victim draws).
+    """
+    if mechanisms.strip():
+        names = tuple(
+            normalize_name(m) for m in mechanisms.split(",") if m.strip()
+        )
+        for name in names:
+            MECHANISMS.get(name)  # fail fast on unknown contenders
+    else:
+        names = tuple(MECHANISMS.names())
+    if not names:
+        raise ValueError("parameter 'mechanisms' must list at least one name")
+    from repro.faults import FAULTS
+
+    entry = FAULTS.get(fault)  # fail fast on unknown faults
+    fault_params = {
+        key: value
+        for key, value in (
+            ("start_s", fault_start_s),
+            ("duration_s", fault_duration_s),
+        )
+        if key in entry.params
+    }
+    from repro.scenarios import REGISTRY
+
+    accepted = REGISTRY.get(scenario).params
+    base = {"fault": entry.name, "fault_params": fault_params}
+    if duration_s:
+        if "duration" in accepted:
+            base["duration"] = duration_s
+        elif "duration_s" in accepted:
+            base["duration_s"] = duration_s
+        else:
+            raise ValueError(
+                f"scenario {scenario!r} takes no duration cap, so "
+                f"duration_s={duration_s:g} cannot be applied; pass "
+                "duration_s=0 to run cells to client completion"
+            )
+    return CampaignSpec(
+        name="chaos-shootout",
+        scenario=scenario,
+        axes=(ParameterAxis("mechanism", names),),
+        base_params=base,
+        seed=seed,
+        description=(
+            f"fault tolerance head-to-head: every mechanism under "
+            f"{entry.name!r} on scenario {scenario!r} (recovery time, "
+            "fairness under failure, dropped/retried RPCs)"
         ),
     )
 

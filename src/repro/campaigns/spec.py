@@ -15,16 +15,20 @@ Each :class:`CampaignCell` resolves to a concrete
 :class:`~repro.scenarios.spec.ScenarioSpec` through the scenario registry's
 parameter-override machinery — exactly what ``run <scenario> --param k=v``
 does — so any cell is re-runnable standalone from its recorded parameters.
-Two parameters are *reserved*: they apply to the resolved spec rather than
-the scenario factory (unless the factory itself takes the name), so any
-campaign can sweep them as axes without every scenario factory growing the
-knob.  :data:`POLICY_PARAMS` (``mechanism``) swaps the bandwidth mechanism
-via :meth:`~repro.scenarios.spec.ScenarioSpec.with_policy` (the
-``mechanism-shootout`` built-in), and :data:`WORKLOAD_PARAMS`
-(``workload``) rebuilds every process's pattern from the named
+Several parameters are *reserved*: they apply to the resolved spec rather
+than the scenario factory (unless the factory itself takes the name), so
+any campaign can sweep them as axes without every scenario factory growing
+the knob.  :data:`POLICY_PARAMS` (``mechanism``) swaps the bandwidth
+mechanism via :meth:`~repro.scenarios.spec.ScenarioSpec.with_policy` (the
+``mechanism-shootout`` built-in), :data:`WORKLOAD_PARAMS` (``workload``)
+rebuilds every process's pattern from the named
 :data:`~repro.workloads.registry.WORKLOADS` entry via
 :meth:`~repro.scenarios.spec.ScenarioSpec.with_workload` (the
-``workload-shootout`` built-in).
+``workload-shootout`` built-in), :data:`RUN_PARAMS` (``backend``) sweeps
+the kernel backend, and :data:`FAULT_PARAMS` (``fault``/``fault_params``)
+attaches a registered disturbance via
+:meth:`~repro.scenarios.spec.ScenarioSpec.with_fault` (the
+``chaos-shootout`` built-in).
 Cells carry a deterministic RNG seed derived from the campaign seed and the
 cell index (:func:`derive_cell_seed`); scenarios that take a ``seed``
 parameter (e.g. ``burst-storm``) receive it automatically unless the
@@ -47,6 +51,7 @@ __all__ = [
     "POLICY_PARAMS",
     "WORKLOAD_PARAMS",
     "RUN_PARAMS",
+    "FAULT_PARAMS",
     "ParameterAxis",
     "CampaignCell",
     "CampaignSpec",
@@ -70,6 +75,16 @@ WORKLOAD_PARAMS = ("workload",)
 #: cross-checks that results are backend-invariant (they are bit-identical
 #: by the engine's determinism contract) while comparing wall-clock cost.
 RUN_PARAMS = ("backend",)
+
+#: Cell parameters applied to the resolved spec's fault axis
+#: (``ScenarioSpec.with_fault``) rather than the scenario factory —
+#: ``fault`` names a registered injector and ``fault_params`` carries its
+#: (JSON-representable) overrides, so any campaign can subject any
+#: scenario to the chaos axis (the ``chaos-shootout`` built-in).  Both
+#: survive ``to_json_dict``/``from_json_dict`` verbatim, which is what
+#: lets ``campaign resume`` rebuild a mid-fault-window sweep registry-free
+#: from the store.
+FAULT_PARAMS = ("fault", "fault_params")
 
 #: ``describe()`` previews at most this many cells.
 _DESCRIBE_CELLS = 8
@@ -267,6 +282,15 @@ class CampaignSpec:
             for key in RUN_PARAMS
             if key in params and key not in entry.params
         }
+        fault_overrides = {
+            key: params.pop(key)
+            for key in FAULT_PARAMS
+            if key in params and key not in entry.params
+        }
+        if fault_overrides.get("fault_params") and not fault_overrides.get(
+            "fault"
+        ):
+            raise ValueError("fault_params given without a fault name")
         spec = entry.build(**params)
         if policy_overrides:
             spec = spec.with_policy(**policy_overrides)
@@ -280,6 +304,13 @@ class CampaignSpec:
             # After seed stamping, so seeded workload factories inherit the
             # cell's derived seed through with_workload.
             spec = spec.with_workload(workload_overrides["workload"])
+        if fault_overrides.get("fault"):
+            # Likewise after seed stamping: seeded injectors (client-churn
+            # victim selection) inherit the cell's derived seed.
+            spec = spec.with_fault(
+                fault_overrides["fault"],
+                fault_overrides.get("fault_params") or (),
+            )
         return spec
 
     # -- identity ----------------------------------------------------------

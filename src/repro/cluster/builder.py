@@ -34,6 +34,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.framework import AdapTbf
 from repro.core.mechanism import BandwidthMechanism, MechanismHandle
+from repro.faults.injector import FaultHandle
 from repro.lustre.client import ClientProcess
 from repro.lustre.network import Network
 from repro.lustre.oss import Oss
@@ -154,6 +155,8 @@ class ClusterTopology:
     #: One installed mechanism handle per OST — decentralized, no shared
     #: state between them beyond the (static) job→nodes map.
     handles: List[MechanismHandle] = field(default_factory=list)
+    #: One installed fault handle per spec fault (chaos axis), in spec order.
+    fault_handles: List[FaultHandle] = field(default_factory=list)
 
     @property
     def config(self) -> ClusterConfig:
@@ -218,6 +221,31 @@ class ClusterTopology:
         """Tear down every OST's mechanism (stop loops, remove rules)."""
         for handle in self.handles:
             handle.teardown()
+        for fault in self.fault_handles:
+            fault.teardown()
+
+    # -- fault-axis aggregation --------------------------------------------
+    @property
+    def rpcs_dropped(self) -> int:
+        """Crash-aborted in-flight transfers, summed over every OSS."""
+        return sum(oss.rpcs_dropped for oss in self.osses)
+
+    @property
+    def rpcs_retried(self) -> int:
+        """Crash-requeued RPCs, summed over every OSS."""
+        return sum(oss.rpcs_retried for oss in self.osses)
+
+    def fault_window(self) -> Optional[Tuple[float, float]]:
+        """The union disturbance span of every installed fault, or None.
+
+        Computed statically from the fault parameters (the handles publish
+        their windows at install time), so during/after fairness buckets
+        are known before the run starts.
+        """
+        windows = [w for handle in self.fault_handles for w in handle.windows]
+        if not windows:
+            return None
+        return min(w[0] for w in windows), max(w[1] for w in windows)
 
     def total_capacity_bps(self) -> float:
         return sum(ost.capacity_bps for ost in self.osts)
@@ -316,6 +344,16 @@ def build(
                     layout=layout,
                 )
             )
+
+    # Faults install last — injectors may inspect (and churn) the fully
+    # assembled cluster, clients included.
+    if spec.faults:
+        from repro.faults import FAULTS
+
+        cluster.fault_handles = [
+            FAULTS.build(fault.name, **fault.kwargs).install(env, cluster)
+            for fault in spec.faults
+        ]
     return cluster
 
 

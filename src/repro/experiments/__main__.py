@@ -29,6 +29,11 @@ Usage::
     python -m repro.experiments run trace-replay        # bundled trace replay
     python -m repro.experiments campaign run workload-shootout --jobs 2
     python -m repro.experiments run quickstart --backend array  # kernel backend
+    python -m repro.experiments fault list              # registered faults
+    python -m repro.experiments fault describe ost-crash
+    python -m repro.experiments run quickstart --fault ost-crash \\
+        --fault-param start_s=0.4                       # any registered fault
+    python -m repro.experiments campaign run chaos-shootout --jobs 2
 
 Figure names (``fig3`` … ``fig9``, ``overhead``, ``all``) invoke the paper's
 reproduction adapters — the three-mechanism comparison, report and shape
@@ -63,9 +68,11 @@ from repro.campaigns import (
 from repro.core.mechanism import MECHANISMS
 from repro.experiments import fig3_fig4, fig5_fig6, fig7_fig8, fig9, overhead
 from repro.experiments.common import bench_scale, full_scale
+from repro.faults import FAULTS
 from repro.metrics.export import export_all
 from repro.metrics.report import (
     format_campaign_report,
+    format_chaos_table,
     format_mechanism_table,
     format_run_report,
 )
@@ -155,13 +162,15 @@ def _run_figures(name: str, args, params: Dict[str, str]) -> bool:
         or args.mechanism_param
         or args.workload is not None
         or args.workload_param
+        or args.fault is not None
+        or args.fault_param
     ):
         raise SystemExit(
             "--duration/--backend/--mechanism/--mechanism-param/--workload/"
-            "--workload-param apply to registered scenarios; figure "
-            "adapters always run their paper-defined workload and "
-            "duration under all three mechanisms (scale them with "
-            "--param time_scale=...)"
+            "--workload-param/--fault/--fault-param apply to registered "
+            "scenarios; figure adapters always run their paper-defined "
+            "workload and duration under all three mechanisms (scale them "
+            "with --param time_scale=...)"
         )
     if name == "overhead" and (args.full or params):
         raise SystemExit(
@@ -224,6 +233,15 @@ def _run_registered(name: str, args, params: Dict[str, str]) -> bool:
                 "--workload-param requires --workload NAME (see "
                 "`workload list`)"
             )
+        fault_params = _split_params(getattr(args, "fault_param", None))
+        if args.fault is not None:
+            spec = spec.with_fault(
+                args.fault, FAULTS.coerce(args.fault, fault_params)
+            )
+        elif fault_params:
+            raise SystemExit(
+                "--fault-param requires --fault NAME (see `fault list`)"
+            )
     except (KeyError, ValueError) as exc:
         # KeyError's str() wraps the message in repr quotes; unwrap it.
         raise SystemExit(exc.args[0] if exc.args else str(exc)) from None
@@ -271,6 +289,12 @@ def _report_campaign(campaign, result, args) -> None:
     if any(axis.param == "mechanism" for axis in campaign.axes):
         print()
         print(format_mechanism_table(result))
+    has_fault = campaign.base_params.get("fault") or any(
+        axis.param == "fault" for axis in campaign.axes
+    )
+    if has_fault and result.outcomes:
+        print()
+        print(format_chaos_table(result))
     if args.out:
         written = write_artifacts(result, args.out)
         print(
@@ -453,6 +477,29 @@ def _cmd_workload_describe(args) -> int:
     return 0
 
 
+def _cmd_fault_list(_args) -> int:
+    print("registered fault injectors (select with --fault):")
+    for name in FAULTS.names():
+        entry = FAULTS.get(name)
+        print(f"  {name:18s} {entry.description}")
+    print()
+    print(
+        "run with:   python -m repro.experiments run <scenario> "
+        "--fault <name> [--fault-param k=v ...]\n"
+        "sweep with: python -m repro.experiments campaign run "
+        "chaos-shootout [--param fault=<name> ...]"
+    )
+    return 0
+
+
+def _cmd_fault_describe(args) -> int:
+    try:
+        print(FAULTS.describe(args.fault))
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(exc.args[0] if exc.args else str(exc)) from None
+    return 0
+
+
 def _cmd_list(_args) -> int:
     print("figure adapters (paper reproduction, 3-mechanism comparison):")
     seen = {}
@@ -483,6 +530,11 @@ def _cmd_list(_args) -> int:
     print("registered workload patterns (see `workload list`):")
     for name in WORKLOADS.names():
         entry = WORKLOADS.get(name)
+        print(f"  {name:18s} {entry.description}")
+    print()
+    print("registered fault injectors (see `fault list`):")
+    for name in FAULTS.names():
+        entry = FAULTS.get(name)
         print(f"  {name:18s} {entry.description}")
     print()
     print(
@@ -580,6 +632,21 @@ def main(argv=None) -> int:
         metavar="K=V",
         help="override a workload factory parameter (repeatable; see "
         "`workload describe <name>`)",
+    )
+    run_p.add_argument(
+        "--fault",
+        default=None,
+        metavar="NAME",
+        help="attach a registered fault injector to the run (see "
+        "`fault list`); the disturbance fires at its scheduled window "
+        "and the engine's determinism contract still holds",
+    )
+    run_p.add_argument(
+        "--fault-param",
+        action="append",
+        metavar="K=V",
+        help="override a fault factory parameter (repeatable; see "
+        "`fault describe <name>`)",
     )
     run_p.add_argument(
         "--full",
@@ -752,6 +819,20 @@ def main(argv=None) -> int:
     )
     wdesc_p.add_argument("workload")
     wdesc_p.set_defaults(handler=_cmd_workload_describe)
+
+    fault_p = sub.add_parser(
+        "fault", help="pluggable fault injectors (the disturbance axis)"
+    )
+    fault_sub = fault_p.add_subparsers(dest="fault_command", required=True)
+
+    flist_p = fault_sub.add_parser("list", help="list registered faults")
+    flist_p.set_defaults(handler=_cmd_fault_list)
+
+    fdesc_p = fault_sub.add_parser(
+        "describe", help="show a fault's parameters and behaviour"
+    )
+    fdesc_p.add_argument("fault")
+    fdesc_p.set_defaults(handler=_cmd_fault_describe)
 
     add_lint_subparser(sub)
 

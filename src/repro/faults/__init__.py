@@ -1,0 +1,36 @@
+"""Faults: the fifth registry axis — scheduled cluster disturbances.
+
+``import repro.faults`` registers the built-in injectors (``ost-crash``,
+``ost-degrade``, ``net-delay``, ``client-churn``) in :data:`FAULTS`; specs
+carry them as frozen :class:`FaultSpec` entries
+(:meth:`~repro.scenarios.spec.ScenarioSpec.with_fault`), the cluster
+builder installs them after the cluster is assembled, and campaigns sweep
+them through the reserved ``fault`` / ``fault_params`` cell parameters.
+"""
+
+from repro.faults import builtin as _builtin  # noqa: F401  (self-registration)
+from repro.faults.builtin import (
+    ClientChurnInjector,
+    NetDelayInjector,
+    OstCrashInjector,
+    OstDegradeInjector,
+)
+from repro.faults.injector import (
+    FAULTS,
+    FaultHandle,
+    FaultInjector,
+    FaultRegistry,
+)
+from repro.faults.spec import FaultSpec
+
+__all__ = [
+    "FAULTS",
+    "FaultHandle",
+    "FaultInjector",
+    "FaultRegistry",
+    "FaultSpec",
+    "OstCrashInjector",
+    "OstDegradeInjector",
+    "NetDelayInjector",
+    "ClientChurnInjector",
+]

@@ -1,0 +1,72 @@
+"""The frozen fault declaration carried by a :class:`ScenarioSpec`.
+
+A :class:`FaultSpec` is pure data — a registry name plus canonicalized
+factory overrides — mirroring how the scenario spec records its workload
+axis.  Specs stay frozen, hashable and picklable so campaign cells carrying
+faults survive ``--jobs N`` fan-out and JSON round-trips unchanged; the
+live :class:`~repro.faults.injector.FaultInjector` is only materialized by
+the cluster builder, never stored on the spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping
+
+__all__ = ["FaultSpec"]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: registry name + canonical parameter overrides.
+
+    Parameters
+    ----------
+    name:
+        Name of an injector registered in :data:`repro.faults.FAULTS`.
+    params:
+        Factory overrides, stored canonically as a sorted tuple of
+        ``(key, value)`` pairs (any mapping or pair-iterable is accepted
+        and canonicalized).  Validation against the registered factory's
+        parameter schema happens here, so an invalid fault fails at spec
+        construction — not mid-run when the injector fires.
+    """
+
+    name: str
+    params: Mapping[str, Any] = ()
+
+    def __post_init__(self) -> None:
+        from repro.faults.injector import FAULTS
+
+        try:
+            entry = FAULTS.get(self.name)
+        except KeyError:
+            raise ValueError(
+                f"unknown fault {self.name!r}; registered: {FAULTS.names()}"
+            ) from None
+        object.__setattr__(self, "name", entry.name)
+        params = self.params
+        items = params.items() if isinstance(params, Mapping) else tuple(params)
+        canonical = tuple(sorted((str(k), v) for k, v in items))
+        unknown = {k for k, _ in canonical} - set(entry.params)
+        if unknown:
+            raise ValueError(
+                f"fault {entry.name!r} has no parameter(s) "
+                f"{sorted(unknown)}; accepted: {sorted(entry.params)}"
+            )
+        object.__setattr__(self, "params", canonical)
+        # Injectors are cheap parameter holders: build one and discard it so
+        # value errors (negative start_s, zero factor, ...) also surface at
+        # spec construction, with the factory's own message.
+        FAULTS.build(entry.name, **dict(canonical))
+
+    @property
+    def kwargs(self) -> Dict[str, Any]:
+        """The frozen parameter pairs as a plain factory-kwargs dict."""
+        return dict(self.params)
+
+    def build(self):
+        """Materialize the live injector (name/params stamped by the registry)."""
+        from repro.faults.injector import FAULTS
+
+        return FAULTS.build(self.name, **self.kwargs)

@@ -10,7 +10,7 @@ fabric.  Set ``latency_s=0`` for a zero-latency fabric.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, List
 
 from repro.lustre.oss import Oss
 from repro.lustre.rpc import Rpc
@@ -38,6 +38,9 @@ class Network:
         "env",
         "latency_s",
         "_rpcs_carried",
+        "_partitioned",
+        "_held",
+        "_rpcs_held",
         "_deliver_cb",
         "_reply_cb",
         "_finish_cb",
@@ -49,6 +52,9 @@ class Network:
         self.env = env
         self.latency_s = float(latency_s)
         self._rpcs_carried = 0
+        self._partitioned = False
+        self._held: List[Rpc] = []
+        self._rpcs_held = 0
         # Hop callbacks are shared bound methods; the RPC rides along as the
         # hop event's value, so the per-RPC closure allocations of the naive
         # formulation disappear from this hot path.
@@ -60,7 +66,9 @@ class Network:
         """Send ``rpc`` to ``oss``; returns the event the client awaits.
 
         The returned event fires one network latency *after* the server-side
-        completion, modelling the reply message.
+        completion, modelling the reply message.  During a partition window
+        the request is held inside the network instead, to be released (in
+        submission order) when the partition heals.
         """
         env = self.env
         rpc.submitted = env.now
@@ -69,12 +77,62 @@ class Network:
         rpc.target_oss = oss
         self._rpcs_carried += 1
 
-        if self.latency_s:
+        if self._partitioned:
+            self._held.append(rpc)
+            self._rpcs_held += 1
+        elif self.latency_s:
             env.timeout(self.latency_s, rpc).callbacks.append(self._deliver_cb)
         else:
             oss.receive(rpc)
         rpc.completion.callbacks.append(self._reply_cb)
         return client_done
+
+    # -- fault-axis surface ---------------------------------------------------
+    def set_latency(self, latency_s: float) -> None:
+        """Change the one-way hop latency at runtime (fault axis).
+
+        Requests already in flight keep the latency they departed with —
+        only subsequent hops see the new value, like a routing change.
+        """
+        if latency_s < 0:
+            raise ValueError(f"latency must be >= 0, got {latency_s}")
+        self.latency_s = float(latency_s)
+
+    def set_partitioned(self, partitioned: bool) -> int:
+        """Open or heal a partition on the request path.
+
+        While partitioned, submissions queue inside the network (replies
+        of already-delivered requests still return — the server committed
+        that work before the cut).  Healing releases the held requests in
+        submission order through the normal latency hop, so the flood
+        arrives at deterministic heap positions.  Returns the number of
+        requests released.
+        """
+        partitioned = bool(partitioned)
+        if partitioned == self._partitioned:
+            return 0
+        self._partitioned = partitioned
+        if partitioned:
+            return 0
+        held, self._held = self._held, []
+        env = self.env
+        for rpc in held:
+            if self.latency_s:
+                env.timeout(self.latency_s, rpc).callbacks.append(
+                    self._deliver_cb
+                )
+            else:
+                rpc.target_oss.receive(rpc)
+        return len(held)
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partitioned
+
+    @property
+    def rpcs_held(self) -> int:
+        """Requests that were ever held by a partition window."""
+        return self._rpcs_held
 
     # -- hop callbacks (event value = the RPC in flight) ---------------------
     def _deliver(self, event: Event) -> None:

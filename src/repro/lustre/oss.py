@@ -23,9 +23,9 @@ from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.lustre.jobstats import JobStatsTracker
 from repro.lustre.nrs import NrsPolicy
-from repro.lustre.ost import Ost
+from repro.lustre.ost import Ost, OstUnavailable
 from repro.lustre.rpc import Rpc
-from repro.sim.events import FirstOf
+from repro.sim.events import Event, FirstOf
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Environment
@@ -64,6 +64,10 @@ class Oss:
         "jobstats",
         "_on_complete",
         "_completed_rpcs",
+        "_offline",
+        "_online",
+        "_rpcs_dropped",
+        "_rpcs_retried",
     )
 
     def __init__(
@@ -86,6 +90,10 @@ class Oss:
         self.jobstats = JobStatsTracker()
         self._on_complete: List[Callable[[Rpc], None]] = []
         self._completed_rpcs = 0
+        self._offline = False
+        self._online: Optional[Event] = None
+        self._rpcs_dropped = 0
+        self._rpcs_retried = 0
         for tid in range(io_threads):
             env.process(self._thread_loop(), name=f"{ost.name}.io{tid}")
 
@@ -104,6 +112,48 @@ class Oss:
     def completed_rpcs(self) -> int:
         return self._completed_rpcs
 
+    @property
+    def offline(self) -> bool:
+        """True while the backing OST is crashed (fault axis)."""
+        return self._offline
+
+    @property
+    def rpcs_dropped(self) -> int:
+        """In-flight transfers aborted by crashes (served work lost)."""
+        return self._rpcs_dropped
+
+    @property
+    def rpcs_retried(self) -> int:
+        """RPCs requeued after a crash aborted or blocked their service."""
+        return self._rpcs_retried
+
+    # -- fault-axis surface ------------------------------------------------------
+    def crash(self) -> int:
+        """Take the backing OST dark: abort in-flight transfers, park threads.
+
+        Every in-flight transfer's completion event fails with
+        :class:`~repro.lustre.ost.OstUnavailable`; the I/O threads catch
+        it, requeue the aborted RPC on the NRS policy (its service starts
+        over after recovery — the partial work is lost) and then block on
+        the recovery broadcast.  Returns the number of transfers aborted.
+        Crashing an already-offline OSS raises.
+        """
+        if self._offline:
+            raise RuntimeError(f"{self.ost.name} is already offline")
+        self._offline = True
+        self._online = Event(self.env)
+        dropped = self.ost.fail_inflight(OstUnavailable(self.ost.name))
+        self._rpcs_dropped += dropped
+        return dropped
+
+    def recover(self) -> None:
+        """Bring the OST back: wake every parked I/O thread."""
+        if not self._offline:
+            raise RuntimeError(f"{self.ost.name} is not offline")
+        self._offline = False
+        online, self._online = self._online, None
+        online.succeed()
+
     # -- the I/O thread ----------------------------------------------------------
     def _thread_loop(self):
         env = self.env
@@ -113,13 +163,31 @@ class Oss:
         record_completion = self.jobstats.record_completion
         inf = float("inf")
         while True:
+            if self._offline:
+                # Crashed: park on the recovery broadcast.  Any wakeup
+                # (requeue arrivals included) funnels back through this
+                # gate, so no thread touches a dark OST.
+                yield self._online
+                continue
             rpc: Optional[Rpc]
             rpc, wake = poll()
             if rpc is not None:
                 rpc.dequeued = env.now
-                if self.rpc_overhead_s:
-                    yield env.timeout(self.rpc_overhead_s)
-                yield transfer(rpc.size_bytes)
+                try:
+                    if self.rpc_overhead_s:
+                        yield env.timeout(self.rpc_overhead_s)
+                        if self._offline:
+                            # Crash landed during request-handling overhead,
+                            # before the bulk transfer ever started.
+                            raise OstUnavailable(self.ost.name)
+                    yield transfer(rpc.size_bytes)
+                except OstUnavailable:
+                    # The crash failed this transfer (or pre-empted it):
+                    # requeue the RPC — its service starts over after
+                    # recovery, the Lustre client-side replay behaviour.
+                    self._rpcs_retried += 1
+                    policy.enqueue(rpc)
+                    continue
                 rpc.completed = env.now
                 self._completed_rpcs += 1
                 record_completion(rpc)

@@ -24,9 +24,17 @@ from repro.sim.events import Event, Timeout
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Environment
 
-__all__ = ["Ost"]
+__all__ = ["Ost", "OstUnavailable"]
 
 _EPS_BYTES = 1e-6
+
+
+class OstUnavailable(Exception):
+    """Raised into waiters of in-flight transfers when their OST crashes.
+
+    Carries the OST name; the OSS I/O threads catch it and requeue the
+    aborted RPC, so a crash never propagates past the server boundary.
+    """
 
 
 class Ost:
@@ -105,6 +113,29 @@ class Ost:
         self._advance(self.env.now)
         self.capacity_bps = float(capacity_bps)
         self._reschedule()
+
+    def fail_inflight(self, exc: Optional[BaseException] = None) -> int:
+        """Abort every in-flight transfer: fail its completion event.
+
+        The crash path of the fault axis.  Partially-served bytes are
+        discarded (they never reach ``bytes_served`` — the work is lost,
+        as on a real device that drops its write-back cache), the pending
+        completion-check timer is lazily cancelled, and each transfer's
+        done event *fails* with ``exc`` in transfer-id order, so waiters
+        observe the crash at deterministic heap positions.  Returns the
+        number of transfers aborted.
+        """
+        if exc is None:
+            exc = OstUnavailable(self.name)
+        self._advance(self.env.now)
+        aborted = list(self._done_events.values())
+        self._remaining.clear()
+        self._sizes.clear()
+        self._done_events.clear()
+        for done in aborted:
+            done.fail(exc)
+        self._reschedule()
+        return len(aborted)
 
     @property
     def active_transfers(self) -> int:

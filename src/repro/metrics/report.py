@@ -21,6 +21,7 @@ __all__ = [
     "format_run_report",
     "format_campaign_report",
     "format_mechanism_table",
+    "format_chaos_table",
 ]
 
 
@@ -173,5 +174,63 @@ def format_mechanism_table(result: "CampaignResult") -> str:
         title=(
             f"mechanism shootout over scenario "
             f"{result.campaign.scenario!r} (ranked by throughput)"
+        ),
+    )
+
+
+def format_chaos_table(result: "CampaignResult") -> str:
+    """Per-mechanism fault-tolerance comparison, ranked by recovery time.
+
+    The chaos view of a campaign whose cells carry a fault: one row per
+    mechanism (cells averaged), ordered fastest-recovering first with
+    fairness-during-failure as the tiebreaker — the mechanism that both
+    re-converges quickly and stays proportional while degraded wins.
+    """
+    buckets: "dict" = {}
+    for outcome in result.outcomes:
+        mechanism = outcome.params.get("mechanism", outcome.row.mechanism)
+        buckets.setdefault(mechanism, []).append(outcome.row)
+
+    def mean(values):
+        return sum(values) / len(values) if values else 0.0
+
+    ranked = sorted(
+        buckets.items(),
+        key=lambda item: (
+            mean([r.recovery_s for r in item[1]]),
+            -mean([r.fairness_during for r in item[1]]),
+        ),
+    )
+    rows = []
+    for mechanism, cell_rows in ranked:
+        rows.append(
+            [
+                mechanism,
+                f"{mean([r.recovery_s for r in cell_rows]):.2f}",
+                f"{mean([r.fairness_during for r in cell_rows]):.3f}",
+                f"{mean([r.fairness_after for r in cell_rows]):.3f}",
+                f"{mean([r.aggregate_mib_s for r in cell_rows]):.1f}",
+                f"{mean([r.rpcs_dropped for r in cell_rows]):.0f}",
+                f"{mean([r.rpcs_retried for r in cell_rows]):.0f}",
+            ]
+        )
+    fault = result.campaign.base_params.get("fault") or next(
+        (o.params["fault"] for o in result.outcomes if o.params.get("fault")),
+        "?",
+    )
+    return format_table(
+        [
+            "mechanism",
+            "recovery s",
+            "fair during",
+            "fair after",
+            "MiB/s",
+            "dropped",
+            "retried",
+        ],
+        rows,
+        title=(
+            f"chaos shootout under fault {fault!r} over scenario "
+            f"{result.campaign.scenario!r} (ranked by recovery time)"
         ),
     )

@@ -15,7 +15,13 @@ from typing import Dict, List, Optional
 
 from repro.metrics.timeline import Timeline
 
-__all__ = ["BandwidthSummary", "summarize", "gains_versus", "jain_index"]
+__all__ = [
+    "BandwidthSummary",
+    "summarize",
+    "gains_versus",
+    "jain_index",
+    "weighted_jain",
+]
 
 MIB = 1 << 20
 
@@ -68,6 +74,31 @@ def summarize(
     )
 
 
+def weighted_jain(
+    per_job: Dict[str, float], weights: Optional[Dict[str, float]] = None
+) -> float:
+    """Jain's fairness index over weighted per-job quantities.
+
+    The raw-mapping core of :func:`jain_index`, usable on any per-job
+    measure (bandwidth, bytes in a disturbance window, ...).  1.0 =
+    perfectly proportional to the weights; 1/n = one job gets everything;
+    the all-zero mapping reports 1.0 by convention (nothing served is
+    vacuously fair).  Pure Python — the fault axis computes
+    fairness-under-failure from it on the numpy-free path.
+    """
+    values = []
+    for job, quantity in per_job.items():
+        weight = (weights or {}).get(job, 1.0)
+        if weight <= 0:
+            raise ValueError(f"weight for {job!r} must be positive")
+        values.append(quantity / weight)
+    if not values or all(v == 0 for v in values):
+        return 1.0
+    numerator = sum(values) ** 2
+    denominator = len(values) * sum(v * v for v in values)
+    return numerator / denominator
+
+
 def jain_index(
     summary: BandwidthSummary, weights: Optional[Dict[str, float]] = None
 ) -> float:
@@ -78,17 +109,7 @@ def jain_index(
     fairness — how closely achieved bandwidth tracks the paper's
     node-proportional entitlement (``x_i = bw_i / weight_i``).
     """
-    values = []
-    for job, bandwidth in summary.per_job_mib_s.items():
-        weight = (weights or {}).get(job, 1.0)
-        if weight <= 0:
-            raise ValueError(f"weight for {job!r} must be positive")
-        values.append(bandwidth / weight)
-    if not values or all(v == 0 for v in values):
-        return 1.0
-    numerator = sum(values) ** 2
-    denominator = len(values) * sum(v * v for v in values)
-    return numerator / denominator
+    return weighted_jain(summary.per_job_mib_s, weights)
 
 
 def gains_versus(

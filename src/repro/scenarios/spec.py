@@ -34,6 +34,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.ablation import VARIANTS
 from repro.core.mechanism import MECHANISMS, BandwidthMechanism
+from repro.faults.spec import FaultSpec
 from repro.registry import normalize_name
 from repro.workloads.spec import JobSpec, validate_jobs
 
@@ -318,6 +319,10 @@ class ScenarioSpec:
     workload: str = ""
     #: Canonical (sorted tuple) factory overrides of that workload.
     workload_params: Mapping[str, Any] = ()
+    #: Scheduled disturbances (:class:`~repro.faults.spec.FaultSpec`),
+    #: installed by the cluster builder after the cluster is assembled.
+    #: Frozen data only — the live injectors never live on the spec.
+    faults: Tuple[FaultSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -347,6 +352,14 @@ class ScenarioSpec:
                 )
         elif canonical:
             raise ValueError("workload_params given without a workload name")
+        faults = tuple(self.faults)
+        for fault in faults:
+            if not isinstance(fault, FaultSpec):
+                raise ValueError(
+                    f"faults must be FaultSpec instances, got {fault!r}; "
+                    "use with_fault(name, params)"
+                )
+        object.__setattr__(self, "faults", faults)
 
     # -- derived views -----------------------------------------------------
     @property
@@ -448,6 +461,42 @@ class ScenarioSpec:
             self, jobs=jobs, workload=entry.name, workload_params=params
         )
 
+    def with_fault(
+        self, fault: str, fault_params: Mapping[str, Any] = ()
+    ) -> "ScenarioSpec":
+        """Copy with a scheduled disturbance appended to the fault axis.
+
+        ``fault`` names an injector registered in
+        :data:`~repro.faults.FAULTS`; parameters are validated against its
+        factory schema at spec time, so a typo fails here and not mid-run.
+        Faults compose — call repeatedly to layer an OST crash over client
+        churn.  This is what ``run <scenario> --fault NAME`` and the
+        reserved ``fault``/``fault_params`` campaign cell parameters do.
+
+        If the injector factory takes a ``seed`` that ``fault_params``
+        does not pin, the run's seed is passed — campaign cells' derived
+        seeds reach fault randomness (churn victim selection) with no
+        extra plumbing, mirroring :meth:`with_workload`.
+        """
+        from repro.faults import FAULTS
+
+        try:
+            entry = FAULTS.get(fault)
+        except KeyError:
+            raise ValueError(
+                f"unknown fault {fault!r}; registered: {FAULTS.names()}"
+            ) from None
+        params = (
+            dict(fault_params)
+            if isinstance(fault_params, Mapping)
+            else dict(tuple(fault_params))
+        )
+        if "seed" in entry.params and "seed" not in params:
+            params["seed"] = self.run.seed
+        return dataclasses.replace(
+            self, faults=self.faults + (FaultSpec(entry.name, params),)
+        )
+
     # -- description -------------------------------------------------------
     def describe(self) -> str:
         """Human-readable multi-line summary of the spec."""
@@ -468,6 +517,12 @@ class ScenarioSpec:
             lines.append(
                 f"workload: {self.workload}"
                 + (f" [{wl_params}]" if wl_params else "")
+            )
+        for fault in self.faults:
+            f_params = ", ".join(f"{k}={v!r}" for k, v in fault.params)
+            lines.append(
+                f"fault:    {fault.name}"
+                + (f" [{f_params}]" if f_params else "")
             )
         mech_params = ""
         if self.policy.mechanism_params:

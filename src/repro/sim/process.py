@@ -101,6 +101,26 @@ class Process(Event):
             self._target.remove_callback(self._resume_cb)
         self._target = None
 
+    def kill(self) -> None:
+        """Terminate the process cleanly at the current time.
+
+        Unlike :meth:`interrupt`, which throws into the generator and lets
+        it react, ``kill`` closes the generator outright and *succeeds* the
+        process event — so composites waiting on many processes (a run's
+        ``all_clients_done``) see an orderly early exit, not a failure.
+        The fault axis's client-churn "leave" is the canonical caller:
+        whatever events the victim was awaiting keep their own lifecycle
+        (they fire later with no waiter attached), so the dispatch order
+        of everything else is untouched.
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has terminated; cannot kill")
+        if self._target is not None and self._target.callbacks is not None:
+            self._target.remove_callback(self._resume_cb)
+        self._target = None
+        self._generator.close()
+        self.succeed(None)
+
     # -- engine plumbing ------------------------------------------------------
     def _resume(self, event: Event) -> None:
         env = self.env

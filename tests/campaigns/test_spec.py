@@ -265,3 +265,77 @@ class TestBuiltinCampaigns:
             text = CAMPAIGNS.describe(name)
             assert name in text
             assert "scenario:" in text
+
+
+class TestFaultAxis:
+    """The reserved ``fault``/``fault_params`` campaign parameters."""
+
+    def chaos_campaign(self, **base_overrides) -> CampaignSpec:
+        base = {
+            "file_mib": 16.0,
+            "fault": "ost-crash",
+            "fault_params": {"start_s": 0.1, "duration_s": 0.2},
+        }
+        base.update(base_overrides)
+        return CampaignSpec(
+            name="chaos",
+            scenario="quickstart",
+            axes=(ParameterAxis("mechanism", ("adaptbf", "none")),),
+            base_params=base,
+        )
+
+    def test_fault_applied_to_resolved_spec(self):
+        campaign = self.chaos_campaign()
+        for cell in campaign.cells():
+            spec = campaign.resolve(cell)
+            (fault,) = spec.faults
+            assert fault.name == "ost-crash"
+            assert fault.kwargs == {"start_s": 0.1, "duration_s": 0.2}
+
+    def test_fault_name_sweepable_as_axis(self):
+        campaign = CampaignSpec(
+            name="chaos",
+            scenario="quickstart",
+            axes=(ParameterAxis("fault", ("ost-crash", "ost-degrade")),),
+            base_params={"file_mib": 16.0},
+        )
+        resolved = [campaign.resolve(c) for c in campaign.cells()]
+        assert [s.faults[0].name for s in resolved] == [
+            "ost-crash",
+            "ost-degrade",
+        ]
+
+    def test_fault_params_without_fault_rejected(self):
+        campaign = CampaignSpec(
+            name="chaos",
+            scenario="quickstart",
+            axes=(ParameterAxis("mechanism", ("none",)),),
+            base_params={"fault_params": {"start_s": 0.1}},
+        )
+        with pytest.raises(ValueError, match="without a fault"):
+            campaign.resolve(campaign.cells()[0])
+
+    def test_cell_seed_flows_into_seeded_faults(self):
+        campaign = CampaignSpec(
+            name="churn",
+            scenario="quickstart",
+            axes=(ParameterAxis("mechanism", ("adaptbf", "none")),),
+            base_params={"fault": "client-churn"},
+        )
+        for cell in campaign.cells():
+            spec = campaign.resolve(cell)
+            assert spec.faults[0].kwargs["seed"] == cell.seed
+
+    def test_spec_hash_sensitive_to_fault_params(self):
+        a = self.chaos_campaign()
+        b = self.chaos_campaign(
+            fault_params={"start_s": 0.1, "duration_s": 0.3}
+        )
+        assert a.spec_hash() != b.spec_hash()
+
+    def test_json_round_trip_preserves_fault_axis(self):
+        campaign = self.chaos_campaign()
+        rebuilt = CampaignSpec.from_json_dict(campaign.to_json_dict())
+        assert rebuilt.spec_hash() == campaign.spec_hash()
+        resolved = rebuilt.resolve(rebuilt.cells()[0])
+        assert resolved.faults[0].name == "ost-crash"

@@ -1,0 +1,118 @@
+"""Shared stack-building fixtures (promoted from per-module helpers).
+
+Several test modules used to carry copy-pasted ``build()``/``seq()``
+helpers wiring up Ost → NRS policy → Oss → Network.  They live here once
+now, as a fixture family:
+
+* ``make_stack``            — single-OST stack under any NRS policy;
+* ``make_controlled_stack`` — single-OST stack plus an AdapTbf loop;
+* ``make_multi_ost_stack``  — N independent per-OST stacks sharing one
+  network (striping / decentralization tests);
+* ``seq``                   — sequential-write client program factory.
+
+All are *factories* taking the test's own ``Environment``, so a test can
+build several stacks (or stacks at different capacities) while the
+timing-sensitive defaults (io_threads=8, zero latency) stay in one place.
+"""
+
+import collections
+
+import pytest
+
+from repro.core import AdapTbf
+from repro.lustre import Network, Oss, Ost, TbfPolicy
+from repro.workloads.patterns import SequentialWritePattern
+
+MB = 1 << 20
+
+Stack = collections.namedtuple("Stack", "ost policy oss net")
+ControlledStack = collections.namedtuple(
+    "ControlledStack", "ost policy oss net frame"
+)
+MultiOstStack = collections.namedtuple("MultiOstStack", "osts osses net")
+
+
+def build_stack(
+    env,
+    policy_cls=TbfPolicy,
+    capacity_mbps=100,
+    io_threads=8,
+    latency_s=0.0,
+):
+    """One OST behind one OSS under ``policy_cls``, zero-latency network."""
+    ost = Ost(env, "ost0", capacity_bps=capacity_mbps * MB)
+    policy = policy_cls(env)
+    oss = Oss(env, ost, policy, io_threads=io_threads)
+    net = Network(env, latency_s=latency_s)
+    return Stack(ost, policy, oss, net)
+
+
+@pytest.fixture
+def make_stack():
+    return build_stack
+
+
+@pytest.fixture
+def make_controlled_stack():
+    """Single-OST stack with an AdapTbf control loop already attached."""
+
+    def _make(
+        env,
+        capacity_mbps=100,
+        nodes=None,
+        interval_s=0.1,
+        io_threads=8,
+        overhead_s=0.0,
+    ):
+        stack = build_stack(
+            env, capacity_mbps=capacity_mbps, io_threads=io_threads
+        )
+        frame = AdapTbf(
+            env,
+            stack.oss,
+            nodes=nodes or {},
+            max_token_rate=capacity_mbps,
+            interval_s=interval_s,
+            overhead_s=overhead_s,
+        )
+        return ControlledStack(*stack, frame)
+
+    return _make
+
+
+@pytest.fixture
+def make_multi_ost_stack():
+    """N independent per-OST stacks (own policy each) on one network."""
+
+    def _make(
+        env,
+        n_osts=2,
+        policy_cls=None,
+        capacity_mbps=100,
+        io_threads=8,
+        latency_s=0.0,
+    ):
+        if policy_cls is None:
+            from repro.lustre import FifoPolicy as policy_cls
+        osts = [
+            Ost(env, f"ost{i}", capacity_bps=capacity_mbps * MB)
+            for i in range(n_osts)
+        ]
+        osses = [
+            Oss(env, ost, policy_cls(env), io_threads=io_threads)
+            for ost in osts
+        ]
+        net = Network(env, latency_s=latency_s)
+        return MultiOstStack(osts, osses, net)
+
+    return _make
+
+
+@pytest.fixture
+def seq():
+    """``seq(total_bytes)`` → a client program writing that volume."""
+
+    def _program(total_bytes):
+        return SequentialWritePattern(total_bytes).program
+
+    return _program

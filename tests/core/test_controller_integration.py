@@ -4,49 +4,34 @@ import pytest
 
 from repro.core import AdapTbf, install_static_rules
 from repro.core.ablation import priority_only
-from repro.lustre import ClientProcess, Network, Oss, Ost, TbfPolicy
+from repro.lustre import ClientProcess, Oss, Ost
 from repro.sim import Environment
 
 MB = 1 << 20
 
 
-def build_stack(env, capacity_mbps=100, io_threads=8):
-    ost = Ost(env, "ost0", capacity_bps=capacity_mbps * MB)
-    policy = TbfPolicy(env)
-    oss = Oss(env, ost, policy, io_threads=io_threads)
-    net = Network(env, latency_s=0.0)
-    return ost, policy, oss, net
-
-
-def seq_writer(total_bytes):
-    def program(io):
-        yield from io.write(total_bytes)
-
-    return program
-
-
 class TestAdapTbfLoop:
-    def test_rules_created_for_active_jobs(self):
+    def test_rules_created_for_active_jobs(self, make_stack, seq):
         env = Environment()
-        ost, policy, oss, net = build_stack(env)
+        ost, policy, oss, net = make_stack(env)
         frame = AdapTbf(
             env, oss, nodes={"j1": 1, "j2": 3}, max_token_rate=100, interval_s=0.1
         )
-        ClientProcess(env, net, oss, "j1", "c0", seq_writer(50 * MB))
-        ClientProcess(env, net, oss, "j2", "c1", seq_writer(50 * MB))
+        ClientProcess(env, net, oss, "j1", "c0", seq(50 * MB))
+        ClientProcess(env, net, oss, "j2", "c1", seq(50 * MB))
         env.run(until=0.35)
         assert policy.has_rule_for_job("j1")
         assert policy.has_rule_for_job("j2")
         assert frame.daemon.rules_created == 2
 
-    def test_priority_proportional_rates(self):
+    def test_priority_proportional_rates(self, make_stack, seq):
         env = Environment()
-        ost, policy, oss, net = build_stack(env, capacity_mbps=1000)
+        ost, policy, oss, net = make_stack(env, capacity_mbps=1000)
         AdapTbf(
             env, oss, nodes={"j1": 1, "j2": 3}, max_token_rate=1000, interval_s=0.1
         )
-        ClientProcess(env, net, oss, "j1", "c0", seq_writer(2000 * MB), window=32)
-        ClientProcess(env, net, oss, "j2", "c1", seq_writer(2000 * MB), window=32)
+        ClientProcess(env, net, oss, "j1", "c0", seq(2000 * MB), window=32)
+        ClientProcess(env, net, oss, "j2", "c1", seq(2000 * MB), window=32)
         env.run(until=1.0)
         r1 = policy.get_rule("adaptbf_j1")
         r2 = policy.get_rule("adaptbf_j2")
@@ -55,22 +40,22 @@ class TestAdapTbfLoop:
         # Hierarchy: the higher-priority job ranks first.
         assert r2.rank < r1.rank
 
-    def test_rules_stopped_when_job_finishes(self):
+    def test_rules_stopped_when_job_finishes(self, make_stack, seq):
         env = Environment()
-        ost, policy, oss, net = build_stack(env)
+        ost, policy, oss, net = make_stack(env)
         frame = AdapTbf(
             env, oss, nodes={"j1": 1, "j2": 1}, max_token_rate=100, interval_s=0.1
         )
-        ClientProcess(env, net, oss, "j1", "c0", seq_writer(5 * MB))
-        ClientProcess(env, net, oss, "j2", "c1", seq_writer(200 * MB))
+        ClientProcess(env, net, oss, "j1", "c0", seq(5 * MB))
+        ClientProcess(env, net, oss, "j2", "c1", seq(200 * MB))
         env.run(until=3.0)
         assert not policy.has_rule_for_job("j1")  # finished long ago
         assert frame.daemon.rules_stopped >= 1
 
-    def test_surviving_job_absorbs_freed_bandwidth(self):
+    def test_surviving_job_absorbs_freed_bandwidth(self, make_stack):
         """Work conservation across job departures (§IV-D's point)."""
         env = Environment()
-        ost, policy, oss, net = build_stack(env, capacity_mbps=100)
+        ost, policy, oss, net = make_stack(env, capacity_mbps=100)
         AdapTbf(
             env, oss, nodes={"j1": 1, "j2": 1}, max_token_rate=100, interval_s=0.1
         )
@@ -91,39 +76,39 @@ class TestAdapTbfLoop:
         # because after j1 leaves it receives (almost) the whole OST.
         assert done["j2"] < 2.2
 
-    def test_history_records_rounds(self):
+    def test_history_records_rounds(self, make_stack, seq):
         env = Environment()
-        ost, policy, oss, net = build_stack(env)
+        ost, policy, oss, net = make_stack(env)
         frame = AdapTbf(
             env, oss, nodes={"j1": 1}, max_token_rate=100, interval_s=0.1
         )
-        ClientProcess(env, net, oss, "j1", "c0", seq_writer(100 * MB))
+        ClientProcess(env, net, oss, "j1", "c0", seq(100 * MB))
         env.run(until=0.55)
         assert len(frame.history) >= 4
         assert frame.history[0].time == pytest.approx(0.1)
         assert frame.history[0].demands["j1"] > 0
 
-    def test_unknown_job_left_on_fallback(self):
+    def test_unknown_job_left_on_fallback(self, make_stack, seq):
         """Jobs the scheduler doesn't know get no rule but still progress."""
         env = Environment()
-        ost, policy, oss, net = build_stack(env)
+        ost, policy, oss, net = make_stack(env)
         AdapTbf(env, oss, nodes={"known": 1}, max_token_rate=100, interval_s=0.1)
-        client = ClientProcess(env, net, oss, "mystery", "c0", seq_writer(30 * MB))
+        client = ClientProcess(env, net, oss, "mystery", "c0", seq(30 * MB))
         env.run(until=2.0)
         assert client.finished
         assert not policy.has_rule_for_job("mystery")
 
-    def test_register_job_mid_run(self):
+    def test_register_job_mid_run(self, make_stack, seq):
         env = Environment()
-        ost, policy, oss, net = build_stack(env)
+        ost, policy, oss, net = make_stack(env)
         frame = AdapTbf(env, oss, nodes={"j1": 1}, max_token_rate=100)
 
         def late_arrival(env):
             yield env.timeout(0.5)
             frame.register_job("late", nodes=7)
-            ClientProcess(env, net, oss, "late", "c9", seq_writer(30 * MB))
+            ClientProcess(env, net, oss, "late", "c9", seq(30 * MB))
 
-        ClientProcess(env, net, oss, "j1", "c0", seq_writer(100 * MB))
+        ClientProcess(env, net, oss, "j1", "c0", seq(100 * MB))
         env.process(late_arrival(env))
         # Stop while `late` is still writing: its rule must exist right now.
         env.run(until=0.85)
@@ -141,9 +126,9 @@ class TestAdapTbfLoop:
         with pytest.raises(TypeError):
             AdapTbf(env, oss, nodes={}, max_token_rate=100)
 
-    def test_overhead_validation(self):
+    def test_overhead_validation(self, make_stack):
         env = Environment()
-        ost, policy, oss, net = build_stack(env)
+        ost, policy, oss, net = make_stack(env)
         with pytest.raises(ValueError):
             AdapTbf(
                 env,
@@ -154,9 +139,9 @@ class TestAdapTbfLoop:
                 overhead_s=0.2,
             )
 
-    def test_injected_ablation_algorithm(self):
+    def test_injected_ablation_algorithm(self, make_stack):
         env = Environment()
-        ost, policy, oss, net = build_stack(env)
+        ost, policy, oss, net = make_stack(env)
         frame = AdapTbf(
             env,
             oss,
@@ -166,14 +151,14 @@ class TestAdapTbfLoop:
         )
         assert not frame.algorithm.enable_redistribution
 
-    def test_record_and_demand_series(self):
+    def test_record_and_demand_series(self, make_stack, seq):
         env = Environment()
-        ost, policy, oss, net = build_stack(env)
+        ost, policy, oss, net = make_stack(env)
         frame = AdapTbf(
             env, oss, nodes={"j1": 1, "j2": 1}, max_token_rate=100, interval_s=0.1
         )
-        ClientProcess(env, net, oss, "j1", "c0", seq_writer(10 * MB))
-        ClientProcess(env, net, oss, "j2", "c1", seq_writer(100 * MB))
+        ClientProcess(env, net, oss, "j1", "c0", seq(10 * MB))
+        ClientProcess(env, net, oss, "j2", "c1", seq(100 * MB))
         env.run(until=1.0)
         records = frame.record_series("j1")
         demands = frame.demand_series("j1")
@@ -182,9 +167,9 @@ class TestAdapTbfLoop:
 
 
 class TestStaticBaseline:
-    def test_static_rules_installed_proportionally(self):
+    def test_static_rules_installed_proportionally(self, make_stack):
         env = Environment()
-        ost, policy, oss, net = build_stack(env)
+        ost, policy, oss, net = make_stack(env)
         rates = install_static_rules(
             policy, nodes={"j1": 1, "j2": 3}, max_token_rate=100
         )
@@ -192,9 +177,9 @@ class TestStaticBaseline:
         assert rates["j2"] == pytest.approx(75.0)
         assert policy.has_rule_for_job("j1")
 
-    def test_static_rules_never_adapt(self):
+    def test_static_rules_never_adapt(self, make_stack):
         env = Environment()
-        ost, policy, oss, net = build_stack(env, capacity_mbps=100)
+        ost, policy, oss, net = make_stack(env, capacity_mbps=100)
         install_static_rules(policy, nodes={"j1": 1, "j2": 1}, max_token_rate=100)
         done = {}
 
@@ -226,9 +211,9 @@ class TestStaticBaseline:
         )
         assert result.allocations == {"j1": 25, "j2": 75}
 
-    def test_static_validation(self):
+    def test_static_validation(self, make_stack):
         env = Environment()
-        _, policy, _, _ = build_stack(env)
+        _, policy, _, _ = make_stack(env)
         with pytest.raises(ValueError):
             install_static_rules(policy, nodes={}, max_token_rate=100)
         with pytest.raises(ValueError):

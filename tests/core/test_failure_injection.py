@@ -8,38 +8,18 @@ storage server is highly dynamic").
 
 import pytest
 
-from repro.core import AdapTbf
-from repro.lustre import ClientProcess, Network, Oss, Ost, TbfPolicy
+from repro.lustre import ClientProcess, Ost
 from repro.sim import Environment
-from repro.workloads.patterns import BurstPattern, SequentialWritePattern
+from repro.workloads.patterns import BurstPattern
 
 MB = 1 << 20
 
 
-def build(env, capacity_mbps=100, nodes=None, interval_s=0.1):
-    ost = Ost(env, "ost0", capacity_bps=capacity_mbps * MB)
-    policy = TbfPolicy(env)
-    oss = Oss(env, ost, policy, io_threads=8)
-    net = Network(env, latency_s=0.0)
-    frame = AdapTbf(
-        env,
-        oss,
-        nodes=nodes or {},
-        max_token_rate=capacity_mbps,
-        interval_s=interval_s,
-    )
-    return ost, policy, oss, net, frame
-
-
-def seq(total):
-    return SequentialWritePattern(total).program
-
-
 class TestJobChurn:
-    def test_flapping_job_keeps_ledger_balanced(self):
+    def test_flapping_job_keeps_ledger_balanced(self, make_controlled_stack, seq):
         """A job alternating active/idle must not corrupt the ledger."""
         env = Environment()
-        ost, policy, oss, net, frame = build(
+        ost, policy, oss, net, frame = make_controlled_stack(
             env, nodes={"steady": 1, "flapper": 1}
         )
         ClientProcess(env, net, oss, "steady", "c0", seq(200 * MB))
@@ -62,10 +42,10 @@ class TestJobChurn:
                 == round_.result.total_tokens
             )
 
-    def test_many_short_lived_jobs_rule_churn(self):
+    def test_many_short_lived_jobs_rule_churn(self, make_controlled_stack, seq):
         """Dozens of jobs arriving/finishing: rules start and stop cleanly."""
         env = Environment()
-        ost, policy, oss, net, frame = build(
+        ost, policy, oss, net, frame = make_controlled_stack(
             env, nodes={f"burst{i}": 1 for i in range(12)}
         )
 
@@ -84,18 +64,18 @@ class TestJobChurn:
         assert frame.daemon.rules_created >= 12
         assert frame.daemon.rules_stopped >= 9
 
-    def test_zero_demand_interval_stops_all_rules(self):
+    def test_zero_demand_interval_stops_all_rules(self, make_controlled_stack, seq):
         """A globally idle period must clear every managed rule."""
         env = Environment()
-        ost, policy, oss, net, frame = build(env, nodes={"j": 1})
+        ost, policy, oss, net, frame = make_controlled_stack(env, nodes={"j": 1})
         ClientProcess(env, net, oss, "j", "c0", seq(5 * MB))
         env.run(until=2.0)  # job finished long ago; many idle rounds passed
         assert [n for n in policy.rule_names() if n.startswith("adaptbf_")] == []
 
-    def test_unknown_then_registered_job(self):
+    def test_unknown_then_registered_job(self, make_controlled_stack, seq):
         """A job unknown to the scheduler is safe (fallback), then managed."""
         env = Environment()
-        ost, policy, oss, net, frame = build(env, nodes={"known": 1})
+        ost, policy, oss, net, frame = make_controlled_stack(env, nodes={"known": 1})
         client = ClientProcess(env, net, oss, "ghost", "c0", seq(300 * MB))
 
         def register_later(env):
@@ -110,10 +90,10 @@ class TestJobChurn:
 
 
 class TestCapacityChanges:
-    def test_disk_degradation_mid_run(self):
+    def test_disk_degradation_mid_run(self, make_controlled_stack, seq):
         """Halving disk speed mid-run: tokens outrun the disk, nothing breaks."""
         env = Environment()
-        ost, policy, oss, net, frame = build(env, capacity_mbps=100)
+        ost, policy, oss, net, frame = make_controlled_stack(env, capacity_mbps=100)
         frame.register_job("j", nodes=1)
         ClientProcess(env, net, oss, "j", "c0", seq(150 * MB))
 
@@ -127,12 +107,12 @@ class TestCapacityChanges:
         assert oss.completed_rpcs == 150
         assert frame.algorithm.records.total() == 0
 
-    def test_disk_recovery_mid_run(self):
+    def test_disk_recovery_mid_run(self, make_controlled_stack):
         """Disk dips below rated speed, then recovers; tokens are rated at
         the nominal capacity throughout (the controller has no capacity
         feedback — §IV-G's simple deployment model)."""
         env = Environment()
-        ost, policy, oss, net, frame = build(env, capacity_mbps=100)
+        ost, policy, oss, net, frame = make_controlled_stack(env, capacity_mbps=100)
         ost.set_capacity(10 * MB)  # start degraded
         frame.register_job("j", nodes=1)
         done = []
@@ -160,19 +140,12 @@ class TestCapacityChanges:
 
 
 class TestControllerOverheadModel:
-    def test_overhead_delays_rule_application(self):
+    def test_overhead_delays_rule_application(self, make_controlled_stack, seq):
         """With overhead_s > 0 rules apply later within each round."""
         env = Environment()
-        ost = Ost(env, "ost0", capacity_bps=100 * MB)
-        policy = TbfPolicy(env)
-        oss = Oss(env, ost, policy, io_threads=8)
-        net = Network(env, latency_s=0.0)
-        AdapTbf(
+        ost, policy, oss, net, frame = make_controlled_stack(
             env,
-            oss,
             nodes={"j": 1},
-            max_token_rate=100,
-            interval_s=0.1,
             overhead_s=0.025,  # the paper's measured ~25 ms
         )
         ClientProcess(env, net, oss, "j", "c0", seq(30 * MB))

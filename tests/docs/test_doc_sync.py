@@ -26,10 +26,11 @@ def clean_doc_registrations():
     yield
     from repro.campaigns import CAMPAIGNS
     from repro.core.mechanism import MECHANISMS
+    from repro.faults import FAULTS
     from repro.scenarios import REGISTRY
     from repro.workloads.registry import WORKLOADS
 
-    for registry in (WORKLOADS, MECHANISMS, REGISTRY, CAMPAIGNS):
+    for registry in (WORKLOADS, MECHANISMS, REGISTRY, CAMPAIGNS, FAULTS):
         for name in list(registry.names()):
             if name.startswith("doc-"):
                 registry.unregister(name)
@@ -38,9 +39,15 @@ def clean_doc_registrations():
 class TestExtendingGuide:
     def test_has_blocks_for_every_axis(self):
         blocks = python_blocks(EXTENDING)
-        assert len(blocks) >= 4
+        assert len(blocks) >= 5
         joined = "\n".join(blocks)
-        for registry in ("WORKLOADS", "MECHANISMS", "REGISTRY", "CAMPAIGNS"):
+        for registry in (
+            "WORKLOADS",
+            "MECHANISMS",
+            "REGISTRY",
+            "CAMPAIGNS",
+            "FAULTS",
+        ):
             assert f"@{registry}.register" in joined
 
     def test_blocks_execute_verbatim(self, clean_doc_registrations):

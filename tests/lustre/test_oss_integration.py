@@ -16,27 +16,12 @@ from repro.sim import Environment
 MB = 1 << 20
 
 
-def build(env, policy_cls, capacity_mbps=100, io_threads=4, latency=0.0):
-    ost = Ost(env, "ost0", capacity_bps=capacity_mbps * MB)
-    policy = policy_cls(env)
-    oss = Oss(env, ost, policy, io_threads=io_threads)
-    net = Network(env, latency_s=latency)
-    return ost, policy, oss, net
-
-
-def seq_writer(total_bytes):
-    def program(io):
-        yield from io.write(total_bytes)
-
-    return program
-
-
 class TestFifoPath:
-    def test_single_job_achieves_disk_bandwidth(self):
+    def test_single_job_achieves_disk_bandwidth(self, make_stack, seq):
         env = Environment()
-        ost, policy, oss, net = build(env, FifoPolicy, capacity_mbps=100)
+        ost, policy, oss, net = make_stack(env, FifoPolicy, capacity_mbps=100)
         client = ClientProcess(
-            env, net, oss, "job1", "c0", seq_writer(200 * MB), window=8
+            env, net, oss, "job1", "c0", seq(200 * MB), window=8
         )
         env.run()
         # 200 MB at 100 MB/s => ~2 s end-to-end.
@@ -44,9 +29,9 @@ class TestFifoPath:
         assert client.finished
         assert oss.completed_rpcs == 200
 
-    def test_two_jobs_share_fifo_equally(self):
+    def test_two_jobs_share_fifo_equally(self, make_stack):
         env = Environment()
-        ost, policy, oss, net = build(env, FifoPolicy, capacity_mbps=100)
+        ost, policy, oss, net = make_stack(env, FifoPolicy, capacity_mbps=100)
         done_at = {}
 
         def tracked(total, tag):
@@ -63,10 +48,10 @@ class TestFifoPath:
         assert done_at["j1"] == pytest.approx(done_at["j2"], rel=0.05)
         assert env.now == pytest.approx(2.0, rel=0.1)
 
-    def test_jobstats_counts_arrivals(self):
+    def test_jobstats_counts_arrivals(self, make_stack, seq):
         env = Environment()
-        ost, policy, oss, net = build(env, FifoPolicy)
-        ClientProcess(env, net, oss, "job1", "c0", seq_writer(10 * MB))
+        ost, policy, oss, net = make_stack(env, FifoPolicy)
+        ClientProcess(env, net, oss, "job1", "c0", seq(10 * MB))
         env.run()
         # Stats were never cleared: all 10 arrivals and completions visible.
         snap = oss.jobstats.snapshot()
@@ -80,55 +65,55 @@ class TestFifoPath:
 
 
 class TestTbfPath:
-    def test_rule_caps_job_throughput(self):
+    def test_rule_caps_job_throughput(self, make_stack, seq):
         env = Environment()
-        ost, policy, oss, net = build(env, TbfPolicy, capacity_mbps=100)
+        ost, policy, oss, net = make_stack(env, TbfPolicy, capacity_mbps=100)
         # Cap job1 at 20 RPC/s (= 20 MB/s with 1 MiB RPCs).
         policy.start_rule(TbfRule("r1", "job1", rate=20))
-        ClientProcess(env, net, oss, "job1", "c0", seq_writer(40 * MB))
+        ClientProcess(env, net, oss, "job1", "c0", seq(40 * MB))
         env.run()
         # 40 RPCs at 20/s ≈ 2 s (small initial burst shaves a little).
         assert env.now == pytest.approx(2.0, abs=0.3)
 
-    def test_unmatched_job_unlimited_via_fallback(self):
+    def test_unmatched_job_unlimited_via_fallback(self, make_stack, seq):
         env = Environment()
-        ost, policy, oss, net = build(env, TbfPolicy, capacity_mbps=100)
+        ost, policy, oss, net = make_stack(env, TbfPolicy, capacity_mbps=100)
         policy.start_rule(TbfRule("r1", "jobOther", rate=1))
-        ClientProcess(env, net, oss, "job1", "c0", seq_writer(100 * MB))
+        ClientProcess(env, net, oss, "job1", "c0", seq(100 * MB))
         env.run()
         # job1 has no rule: disk-limited, not token-limited.
         assert env.now == pytest.approx(1.0, rel=0.1)
 
-    def test_tbf_not_work_conserving(self):
+    def test_tbf_not_work_conserving(self, make_stack, seq):
         """The §II motivation: token-gated queues idle the disk."""
         env = Environment()
-        ost, policy, oss, net = build(env, TbfPolicy, capacity_mbps=100)
+        ost, policy, oss, net = make_stack(env, TbfPolicy, capacity_mbps=100)
         policy.start_rule(TbfRule("r1", "job1", rate=10))
-        ClientProcess(env, net, oss, "job1", "c0", seq_writer(20 * MB))
+        ClientProcess(env, net, oss, "job1", "c0", seq(20 * MB))
         env.run()
         # Disk could do 100 MB/s but tokens allow ~10: utilization ~10 %.
         assert ost.utilization(0.0) < 0.25
 
-    def test_two_jobs_rate_split_enforced(self):
+    def test_two_jobs_rate_split_enforced(self, make_stack, seq):
         env = Environment()
-        ost, policy, oss, net = build(env, TbfPolicy, capacity_mbps=100)
+        ost, policy, oss, net = make_stack(env, TbfPolicy, capacity_mbps=100)
         policy.start_rule(TbfRule("r1", "job1", rate=75))
         policy.start_rule(TbfRule("r2", "job2", rate=25))
         bytes_done = {"job1": 0, "job2": 0}
         oss.on_complete(lambda rpc: bytes_done.__setitem__(
             rpc.job_id, bytes_done[rpc.job_id] + rpc.size_bytes
         ))
-        ClientProcess(env, net, oss, "job1", "c0", seq_writer(300 * MB))
-        ClientProcess(env, net, oss, "job2", "c1", seq_writer(300 * MB))
+        ClientProcess(env, net, oss, "job1", "c0", seq(300 * MB))
+        ClientProcess(env, net, oss, "job2", "c1", seq(300 * MB))
         env.run(until=2.0)
         ratio = bytes_done["job1"] / max(1, bytes_done["job2"])
         assert ratio == pytest.approx(3.0, rel=0.15)
 
-    def test_rate_change_mid_run_takes_effect(self):
+    def test_rate_change_mid_run_takes_effect(self, make_stack, seq):
         env = Environment()
-        ost, policy, oss, net = build(env, TbfPolicy, capacity_mbps=1000)
+        ost, policy, oss, net = make_stack(env, TbfPolicy, capacity_mbps=1000)
         policy.start_rule(TbfRule("r1", "job1", rate=10))
-        ClientProcess(env, net, oss, "job1", "c0", seq_writer(200 * MB))
+        ClientProcess(env, net, oss, "job1", "c0", seq(200 * MB))
 
         def controller(env):
             yield env.timeout(1.0)
@@ -141,9 +126,9 @@ class TestTbfPath:
 
 
 class TestNetworkLatency:
-    def test_latency_delays_completion(self):
+    def test_latency_delays_completion(self, make_stack):
         env = Environment()
-        ost, policy, oss, net = build(env, FifoPolicy, latency=0.01)
+        ost, policy, oss, net = make_stack(env, FifoPolicy, latency_s=0.01)
         done = []
 
         def program(io):
@@ -162,9 +147,9 @@ class TestNetworkLatency:
 
 
 class TestClientWindowing:
-    def test_window_limits_inflight_rpcs(self):
+    def test_window_limits_inflight_rpcs(self, make_stack, seq):
         env = Environment()
-        ost, policy, oss, net = build(env, FifoPolicy, capacity_mbps=10, io_threads=32)
+        ost, policy, oss, net = make_stack(env, FifoPolicy, capacity_mbps=10, io_threads=32)
         max_active = []
 
         def watcher(env):
@@ -173,13 +158,13 @@ class TestClientWindowing:
                 yield env.timeout(0.05)
 
         watch = env.process(watcher(env))
-        ClientProcess(env, net, oss, "job1", "c0", seq_writer(50 * MB), window=4)
+        ClientProcess(env, net, oss, "job1", "c0", seq(50 * MB), window=4)
         env.run(until=3.0)
         assert max(max_active) <= 4
 
-    def test_invalid_write_size(self):
+    def test_invalid_write_size(self, make_stack):
         env = Environment()
-        ost, policy, oss, net = build(env, FifoPolicy)
+        ost, policy, oss, net = make_stack(env, FifoPolicy)
 
         def program(io):
             yield from io.write(0)
@@ -188,11 +173,11 @@ class TestClientWindowing:
         with pytest.raises(ValueError):
             env.run()
 
-    def test_partial_tail_rpc(self):
+    def test_partial_tail_rpc(self, make_stack, seq):
         env = Environment()
-        ost, policy, oss, net = build(env, FifoPolicy)
+        ost, policy, oss, net = make_stack(env, FifoPolicy)
         client = ClientProcess(
-            env, net, oss, "job1", "c0", seq_writer(int(2.5 * MB))
+            env, net, oss, "job1", "c0", seq(int(2.5 * MB))
         )
         env.run()
         assert client.io.rpcs_issued == 3  # 1 MiB + 1 MiB + 0.5 MiB

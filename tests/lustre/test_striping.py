@@ -2,24 +2,17 @@
 
 import pytest
 
-from repro.lustre import ClientProcess, FifoPolicy, Network, Oss, Ost
+from repro.lustre import ClientProcess
 from repro.lustre.striping import StripeLayout
 from repro.sim import Environment
 
 MB = 1 << 20
 
 
-def build_stack(env, n=2, capacity_mbps=100):
-    osts = [Ost(env, f"ost{i}", capacity_bps=capacity_mbps * MB) for i in range(n)]
-    osses = [Oss(env, ost, FifoPolicy(env), io_threads=8) for ost in osts]
-    net = Network(env, latency_s=0.0)
-    return osts, osses, net
-
-
 class TestStripeLayout:
-    def test_round_robin_mapping(self):
+    def test_round_robin_mapping(self, make_multi_ost_stack):
         env = Environment()
-        osts, osses, net = build_stack(env, n=3)
+        osts, osses, net = make_multi_ost_stack(env, n_osts=3)
         layout = StripeLayout(osses, stripe_size=MB)
         assert layout.stripe_count == 3
         assert layout.target_for_offset(0) is osses[0]
@@ -27,17 +20,17 @@ class TestStripeLayout:
         assert layout.target_for_offset(2 * MB) is osses[2]
         assert layout.target_for_offset(3 * MB) is osses[0]
 
-    def test_sub_stripe_offsets_stay_on_one_target(self):
+    def test_sub_stripe_offsets_stay_on_one_target(self, make_multi_ost_stack):
         env = Environment()
-        osts, osses, net = build_stack(env, n=2)
+        osts, osses, net = make_multi_ost_stack(env, n_osts=2)
         layout = StripeLayout(osses, stripe_size=4 * MB)
         for offset in (0, MB, 3 * MB):
             assert layout.target_for_offset(offset) is osses[0]
         assert layout.target_for_offset(4 * MB) is osses[1]
 
-    def test_validation(self):
+    def test_validation(self, make_multi_ost_stack):
         env = Environment()
-        osts, osses, net = build_stack(env)
+        osts, osses, net = make_multi_ost_stack(env)
         with pytest.raises(ValueError):
             StripeLayout([], stripe_size=MB)
         with pytest.raises(ValueError):
@@ -48,9 +41,9 @@ class TestStripeLayout:
 
 
 class TestStripedClient:
-    def test_write_spreads_bytes_evenly(self):
+    def test_write_spreads_bytes_evenly(self, make_multi_ost_stack):
         env = Environment()
-        osts, osses, net = build_stack(env, n=2)
+        osts, osses, net = make_multi_ost_stack(env, n_osts=2)
         layout = StripeLayout(osses, stripe_size=MB)
 
         def program(io):
@@ -63,9 +56,9 @@ class TestStripedClient:
         assert osts[0].bytes_served == 20 * MB
         assert osts[1].bytes_served == 20 * MB
 
-    def test_default_layout_uses_single_oss(self):
+    def test_default_layout_uses_single_oss(self, make_multi_ost_stack):
         env = Environment()
-        osts, osses, net = build_stack(env, n=2)
+        osts, osses, net = make_multi_ost_stack(env, n_osts=2)
 
         def program(io):
             yield from io.write(10 * MB)
@@ -75,10 +68,10 @@ class TestStripedClient:
         assert osts[0].bytes_served == 10 * MB
         assert osts[1].bytes_served == 0
 
-    def test_striping_aggregates_bandwidth(self):
+    def test_striping_aggregates_bandwidth(self, make_multi_ost_stack):
         """A striped file draws on both OSTs' bandwidth concurrently."""
         env = Environment()
-        osts, osses, net = build_stack(env, n=2, capacity_mbps=100)
+        osts, osses, net = make_multi_ost_stack(env, n_osts=2, capacity_mbps=100)
         layout = StripeLayout(osses, stripe_size=MB)
         done = []
 

@@ -5,7 +5,9 @@ from concurrent.futures import ProcessPoolExecutor
 
 import pytest
 
-from repro.lustre import ClientProcess, FifoPolicy, Network, Oss, Ost
+from conftest import build_stack
+
+from repro.lustre import ClientProcess, FifoPolicy
 from repro.sim import Environment
 from repro.workloads.patterns import (
     MixedReadWritePattern,
@@ -21,16 +23,13 @@ from repro.workloads.trace import TraceRecord
 MB = 1 << 20
 
 
-def build(env, capacity_mbps=1000):
-    ost = Ost(env, "ost0", capacity_bps=capacity_mbps * MB)
-    oss = Oss(env, ost, FifoPolicy(env), io_threads=8)
-    net = Network(env, latency_s=0.0)
-    return ost, oss, net
-
-
 def run_pattern(pattern, capacity_mbps=1000, until=None, client_id="c0"):
+    # Module-level (not a fixture) so the subprocess-seeding test can call
+    # it from a picklable module-level helper.
     env = Environment()
-    ost, oss, net = build(env, capacity_mbps)
+    ost, policy, oss, net = build_stack(
+        env, FifoPolicy, capacity_mbps=capacity_mbps
+    )
     client = ClientProcess(env, net, oss, "job", client_id, pattern.program)
     if until is None:
         env.run()
@@ -310,9 +309,7 @@ def _completion_time_in_subprocess(seed: int) -> float:
         rate_per_s=50.0, op_bytes=MB, count=15, seed=seed
     )
     env = Environment()
-    ost = Ost(env, "ost0", capacity_bps=1000 * MB)
-    oss = Oss(env, ost, FifoPolicy(env), io_threads=8)
-    net = Network(env, latency_s=0.0)
+    ost, policy, oss, net = build_stack(env, FifoPolicy, capacity_mbps=1000)
     ClientProcess(env, net, oss, "job", "c0", pattern.program)
     env.run()
     return env.now
@@ -323,7 +320,9 @@ class TestStreamSequencing:
         from repro.lustre.client import IoHandle
 
         env = Environment()
-        ost, oss, net = build(env)
+        ost, policy, oss, net = build_stack(
+            env, FifoPolicy, capacity_mbps=1000
+        )
         return IoHandle(env, net, oss, "job", "c0")
 
     def test_each_invocation_draws_a_fresh_stream(self):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.lustre import ClientProcess, FifoPolicy, Network, Oss, Ost
+from repro.lustre import ClientProcess, FifoPolicy
 from repro.sim import Environment
 from repro.workloads.patterns import (
     BurstPattern,
@@ -13,31 +13,30 @@ from repro.workloads.patterns import (
 MB = 1 << 20
 
 
-def build(env, capacity_mbps=1000):
-    ost = Ost(env, "ost0", capacity_bps=capacity_mbps * MB)
-    oss = Oss(env, ost, FifoPolicy(env), io_threads=8)
-    net = Network(env, latency_s=0.0)
-    return ost, oss, net
+@pytest.fixture
+def run_pattern(make_stack):
+    def _run(pattern, capacity_mbps=1000, until=None):
+        env = Environment()
+        ost, policy, oss, net = make_stack(
+            env, FifoPolicy, capacity_mbps=capacity_mbps
+        )
+        client = ClientProcess(env, net, oss, "job", "c0", pattern.program)
+        if until is None:
+            env.run()
+        else:
+            env.run(until=until)
+        return env, client, ost
 
-
-def run_pattern(pattern, capacity_mbps=1000, until=None):
-    env = Environment()
-    ost, oss, net = build(env, capacity_mbps)
-    client = ClientProcess(env, net, oss, "job", "c0", pattern.program)
-    if until is None:
-        env.run()
-    else:
-        env.run(until=until)
-    return env, client, ost
+    return _run
 
 
 class TestSequentialWritePattern:
-    def test_writes_exact_volume(self):
+    def test_writes_exact_volume(self, run_pattern):
         env, client, ost = run_pattern(SequentialWritePattern(10 * MB))
         assert client.io.bytes_written == 10 * MB
         assert ost.bytes_served == 10 * MB
 
-    def test_start_delay_respected(self):
+    def test_start_delay_respected(self, run_pattern):
         env, client, ost = run_pattern(
             SequentialWritePattern(10 * MB, start_delay_s=2.0)
         )
@@ -55,7 +54,7 @@ class TestSequentialWritePattern:
 
 
 class TestBurstPattern:
-    def test_gap_pacing_sleeps_after_completion(self):
+    def test_gap_pacing_sleeps_after_completion(self, run_pattern):
         pattern = BurstPattern(
             burst_bytes=10 * MB, interval_s=1.0, count=3, pace="gap"
         )
@@ -64,7 +63,7 @@ class TestBurstPattern:
         assert env.now == pytest.approx(2.03, abs=0.1)
         assert client.io.bytes_written == 30 * MB
 
-    def test_cadence_pacing_fixed_period(self):
+    def test_cadence_pacing_fixed_period(self, run_pattern):
         pattern = BurstPattern(
             burst_bytes=10 * MB, interval_s=1.0, count=3, pace="cadence"
         )
@@ -72,7 +71,7 @@ class TestBurstPattern:
         # Bursts start at 0, 1, 2; last burst ~10ms => ~2.01s.
         assert env.now == pytest.approx(2.01, abs=0.1)
 
-    def test_cadence_backpressure_when_burst_overruns(self):
+    def test_cadence_backpressure_when_burst_overruns(self, run_pattern):
         # 100 MB at 50 MB/s takes 2 s > 1 s interval: bursts run back-to-back.
         pattern = BurstPattern(
             burst_bytes=100 * MB, interval_s=1.0, count=2, pace="cadence"
@@ -80,7 +79,7 @@ class TestBurstPattern:
         env, client, ost = run_pattern(pattern, capacity_mbps=50)
         assert env.now == pytest.approx(4.0, abs=0.2)
 
-    def test_start_delay_offsets_first_burst(self):
+    def test_start_delay_offsets_first_burst(self, run_pattern):
         pattern = BurstPattern(
             burst_bytes=1 * MB, interval_s=1.0, count=1, start_delay_s=3.0
         )
@@ -109,16 +108,18 @@ class TestBurstPattern:
 
 
 class TestDelayedContinuousPattern:
-    def test_waits_then_streams(self):
+    def test_waits_then_streams(self, run_pattern):
         pattern = DelayedContinuousPattern(delay_s=5.0, total_bytes=10 * MB)
         env, client, ost = run_pattern(pattern)
         assert env.now == pytest.approx(5.01, abs=0.05)
         assert client.io.bytes_written == 10 * MB
 
-    def test_nothing_written_before_delay(self):
+    def test_nothing_written_before_delay(self, make_stack):
         pattern = DelayedContinuousPattern(delay_s=5.0, total_bytes=10 * MB)
         env = Environment()
-        ost, oss, net = build(env)
+        ost, policy, oss, net = make_stack(
+            env, FifoPolicy, capacity_mbps=1000
+        )
         ClientProcess(env, net, oss, "job", "c0", pattern.program)
         env.run(until=4.9)
         assert ost.bytes_served == 0
