@@ -52,6 +52,13 @@ def test_mechanism_wall_and_round_rate(mechanism, benchmark, print_report):
     wall_s = time.perf_counter() - start
 
     rounds = sum(handle.rounds_run for handle in cluster.handles)
+    # Decentralization-tax columns: only centralized handles report a
+    # non-trivial lag/overshoot, and only reservation-based ones a util.
+    utils = [
+        h.reservation_util
+        for h in cluster.handles
+        if h.reservation_util is not None
+    ]
     _RESULTS[mechanism] = {
         "scenario": _SCENARIO[0],
         "params": dict(_SCENARIO[1]),
@@ -62,6 +69,9 @@ def test_mechanism_wall_and_round_rate(mechanism, benchmark, print_report):
         "rounds_per_wall_s": rounds / wall_s if wall_s > 0 else 0.0,
         "rules_created": sum(h.rules_created for h in cluster.handles),
         "rate_changes": sum(h.rate_changes for h in cluster.handles),
+        "rule_lag_s": max(h.rule_lag_s for h in cluster.handles),
+        "overshoot_bytes": sum(h.overshoot_bytes for h in cluster.handles),
+        "reservation_util": sum(utils) / len(utils) if utils else None,
     }
 
     assert result.clients_finished

@@ -98,6 +98,16 @@ class CellRow:
     #: Crash-aborted in-flight transfers and crash-requeued RPCs.
     rpcs_dropped: int = 0
     rpcs_retried: int = 0
+    #: Control-plane columns (zero defaults keep pre-decentralization-axis
+    #: stores loading unchanged).  Mean observation → enforcement lag of
+    #: applied rule updates, averaged over the handles that reported one.
+    rule_lag_s: float = 0.0
+    #: Bytes of rate granted beyond live demand at enforcement time,
+    #: summed over handles — the staleness-induced overshoot.
+    overshoot_bytes: float = 0.0
+    #: Used ÷ reserved capacity, averaged over the handles that reserve
+    #: anything (0.0 when no mechanism in the cell reserves).
+    reservation_util: float = 0.0
 
     @property
     def rule_churn(self) -> int:
@@ -140,6 +150,9 @@ class CellRow:
             "fairness_after": self.fairness_after,
             "rpcs_dropped": self.rpcs_dropped,
             "rpcs_retried": self.rpcs_retried,
+            "rule_lag_s": self.rule_lag_s,
+            "overshoot_bytes": self.overshoot_bytes,
+            "reservation_util": self.reservation_util,
         }
 
 
@@ -235,6 +248,12 @@ def run_cell(spec: ScenarioSpec) -> CellRow:
     p50, p95, p99 = (
         percentile(latencies, q) * 1e3 for q in LATENCY_PERCENTILES
     )
+    lags = [h.rule_lag_s for h in cluster.handles if h.rule_lag_s > 0]
+    utils = [
+        h.reservation_util
+        for h in cluster.handles
+        if h.reservation_util is not None
+    ]
     return CellRow(
         scenario=spec.name,
         mechanism=result.mechanism,
@@ -257,6 +276,9 @@ def run_cell(spec: ScenarioSpec) -> CellRow:
         fairness_after=fairness_after,
         rpcs_dropped=cluster.rpcs_dropped,
         rpcs_retried=cluster.rpcs_retried,
+        rule_lag_s=sum(lags) / len(lags) if lags else 0.0,
+        overshoot_bytes=sum(h.overshoot_bytes for h in cluster.handles),
+        reservation_util=sum(utils) / len(utils) if utils else 0.0,
     )
 
 

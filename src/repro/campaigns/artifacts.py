@@ -44,8 +44,11 @@ def rerun_command(result: CampaignResult, outcome: CellOutcome) -> str:
     # Policy- and workload-level parameters have dedicated CLI flags,
     # not --param.
     mechanism = build_params.pop("mechanism", None)
+    mechanism_params = build_params.pop("mechanism_params", None) or {}
     if mechanism is not None:
         parts.append(f"--mechanism {mechanism}")
+    for key in sorted(mechanism_params):
+        parts.append(f"--mechanism-param {key}={mechanism_params[key]}")
     workload = build_params.pop("workload", None)
     if workload is not None:
         parts.append(f"--workload {workload}")
@@ -155,6 +158,9 @@ def _write_csv(path: Path, result: CampaignResult) -> None:
         "rate_changes",
         "rule_churn",
         "rounds_run",
+        "rule_lag_s",
+        "overshoot_bytes",
+        "reservation_util",
     ]
     header = (
         ["index", "seed"]

@@ -18,7 +18,12 @@ The paper's evaluation sweeps, declared once through the campaign engine:
 * ``chaos-shootout`` — every registered mechanism under a registered fault
   (OST crash by default): the reserved ``fault``/``fault_params`` axis
   subjects one contended workload to a disturbance window and ranks the
-  mechanisms by recovery time and fairness-under-failure.
+  mechanisms by recovery time and fairness-under-failure;
+* ``decentralization-tax`` — every registered mechanism over a
+  control-plane latency × OST count × workload grid: the reserved
+  ``mechanism_params`` axis sweeps the centralized ``sdn`` controller's
+  latency while the decentralized contenders serve as flat references,
+  ranked per latency step by the campaign report.
 
 Axis values arrive as comma-separated factory parameters so any grid is
 reshapeable from the CLI (``--param intervals=0.1,0.25``); defaults target
@@ -321,6 +326,98 @@ def _chaos_shootout(
             f"fault tolerance head-to-head: every mechanism under "
             f"{entry.name!r} on scenario {scenario!r} (recovery time, "
             "fairness under failure, dropped/retried RPCs)"
+        ),
+    )
+
+
+@CAMPAIGNS.register(
+    "decentralization-tax",
+    description=(
+        "control-plane latency × OST count × workload, every mechanism "
+        "as contrast"
+    ),
+)
+def _decentralization_tax(
+    mechanisms: str = "",
+    latencies: str = "0.0,0.05,0.2",
+    osts: str = "2",
+    workloads: str = "native,burst",
+    duration_s: float = 3.0,
+    seed: int = 0,
+) -> CampaignSpec:
+    """The figure the paper doesn't have: what centralization actually costs.
+
+    Every registered mechanism runs the same contended multi-OST cells
+    while a ``mechanism_params`` axis sweeps the centralized controller's
+    control-plane latency.  The swept ``{"ctrl_latency_s": …}`` override
+    only bites mechanisms that have the knob (``sdn``); the decentralized
+    contenders ride the same axis unchanged and serve as the flat
+    reference lines.  The campaign report ranks mechanisms per latency
+    step — the ``sdn`` rows slide down the ranking as the control plane
+    slows, which *is* the decentralization tax, quantified per cell by
+    the ``rule_lag_s`` / ``overshoot_bytes`` / ``reservation_util``
+    columns.
+
+    Parameters
+    ----------
+    mechanisms:
+        Comma-separated mechanism registry names; empty means *every*
+        registered mechanism, so new contenders join automatically.
+    latencies:
+        One-way control-plane latencies (simulated seconds) for the
+        ``mechanism_params`` axis.
+    osts:
+        OST counts for the cluster-width axis (one controller per OST for
+        the decentralized mechanisms; one shared controller for ``sdn``).
+    workloads:
+        Registered workload patterns per cell — the steady/bursty
+        contrast decides how much a stale view costs.  The special name
+        ``native`` keeps the scenario's own mixed workload (axis value
+        ``None``: the reserved ``workload`` param skips the rebuild).
+    duration_s:
+        Simulated-duration cap per cell (0 runs cells to completion).
+    seed:
+        Campaign seed; derives each cell's workload seed.
+    """
+    if mechanisms.strip():
+        names = tuple(
+            normalize_name(m) for m in mechanisms.split(",") if m.strip()
+        )
+        for name in names:
+            MECHANISMS.get(name)  # fail fast on unknown contenders
+    else:
+        names = tuple(MECHANISMS.names())
+    if not names:
+        raise ValueError("parameter 'mechanisms' must list at least one name")
+    workload_names = tuple(
+        None if normalize_name(w) == "native" else normalize_name(w)
+        for w in workloads.split(",")
+        if w.strip()
+    )
+    if not workload_names:
+        raise ValueError("parameter 'workloads' must list at least one name")
+    for name in workload_names:
+        if name is not None:
+            WORKLOADS.get(name)  # fail fast on unknown patterns
+    latency_values = tuple(
+        {"ctrl_latency_s": value}
+        for value in _floats(latencies, "latencies")
+    )
+    base = {"duration": duration_s} if duration_s else {}
+    return CampaignSpec(
+        name="decentralization-tax",
+        scenario="multiost",
+        axes=(
+            ParameterAxis("mechanism", names),
+            ParameterAxis("mechanism_params", latency_values),
+            ParameterAxis("n_osts", _ints(osts, "osts")),
+            ParameterAxis("workload", workload_names),
+        ),
+        base_params=base,
+        seed=seed,
+        description=(
+            "the decentralization tax, measured: every mechanism over a "
+            "control-plane latency × cluster width × demand-shape grid"
         ),
     )
 

@@ -18,9 +18,10 @@ does — so any cell is re-runnable standalone from its recorded parameters.
 Several parameters are *reserved*: they apply to the resolved spec rather
 than the scenario factory (unless the factory itself takes the name), so
 any campaign can sweep them as axes without every scenario factory growing
-the knob.  :data:`POLICY_PARAMS` (``mechanism``) swaps the bandwidth
-mechanism via :meth:`~repro.scenarios.spec.ScenarioSpec.with_policy` (the
-``mechanism-shootout`` built-in), :data:`WORKLOAD_PARAMS` (``workload``)
+the knob.  :data:`POLICY_PARAMS` (``mechanism``/``mechanism_params``) swaps the
+bandwidth mechanism and its factory overrides via
+:meth:`~repro.scenarios.spec.ScenarioSpec.with_policy` (the
+``mechanism-shootout`` and ``decentralization-tax`` built-ins), :data:`WORKLOAD_PARAMS` (``workload``)
 rebuilds every process's pattern from the named
 :data:`~repro.workloads.registry.WORKLOADS` entry via
 :meth:`~repro.scenarios.spec.ScenarioSpec.with_workload` (the
@@ -63,7 +64,14 @@ AXIS_MODES = ("grid", "zip", "random")
 
 #: Cell parameters applied to the resolved spec's policy rather than passed
 #: to the scenario factory (unless the factory itself takes the name).
-POLICY_PARAMS = ("mechanism",)
+#: ``mechanism`` swaps the bandwidth mechanism; ``mechanism_params`` carries
+#: (JSON-representable) factory overrides for it.  Because the mechanism
+#: axis sweeps *heterogeneous* factories, override keys a cell's mechanism
+#: does not accept are dropped at resolve time — one ``mechanism_params``
+#: axis (say, ``{"ctrl_latency_s": …}``) can ride along every contender and
+#: only bite the mechanisms that have the knob (the ``decentralization-tax``
+#: built-in leans on exactly this).
+POLICY_PARAMS = ("mechanism", "mechanism_params")
 
 #: Cell parameters applied to the resolved spec's workload axis
 #: (``ScenarioSpec.with_workload``) rather than the scenario factory.
@@ -88,6 +96,26 @@ FAULT_PARAMS = ("fault", "fault_params")
 
 #: ``describe()`` previews at most this many cells.
 _DESCRIBE_CELLS = 8
+
+
+def _filter_mechanism_params(
+    mechanism: str, overrides: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """Keep only the override keys ``mechanism``'s factory accepts.
+
+    The mechanism axis sweeps factories with different schemas, so a swept
+    ``mechanism_params`` value legitimately names knobs most contenders
+    lack; silently dropping the inapplicable keys (in sorted order, for
+    deterministic spec content) is what makes the shared axis composable.
+    Typos against a *single* mechanism still fail fast: the CLI's
+    ``--mechanism-param`` path validates against the factory directly.
+    """
+    from repro.core.mechanism import MECHANISMS
+
+    accepted = MECHANISMS.get(mechanism).params
+    return {
+        key: overrides[key] for key in sorted(overrides) if key in accepted
+    }
 
 
 def derive_cell_seed(campaign_seed: int, index: int) -> int:
@@ -292,6 +320,11 @@ class CampaignSpec:
         ):
             raise ValueError("fault_params given without a fault name")
         spec = entry.build(**params)
+        if "mechanism_params" in policy_overrides:
+            target = policy_overrides.get("mechanism") or spec.policy.mechanism
+            policy_overrides["mechanism_params"] = _filter_mechanism_params(
+                target, policy_overrides["mechanism_params"] or {}
+            )
         if policy_overrides:
             spec = spec.with_policy(**policy_overrides)
         if run_overrides:

@@ -21,7 +21,11 @@ The package mirrors the architecture of paper Fig. 2:
 * :mod:`repro.core.mechanism` — the pluggable bandwidth-mechanism protocol
   and the :data:`MECHANISMS` registry every contender resolves through;
 * :mod:`repro.core.pid` — the control-theoretic PID rate controller
-  (a registered contender from outside the paper).
+  (a registered contender from outside the paper);
+* :mod:`repro.core.sdn` — the centralized SDN controller with a modeled
+  control plane (the decentralization-tax contrast);
+* :mod:`repro.core.vc` — guaranteed-bandwidth virtual circuits with
+  overbooked admission control.
 """
 
 from repro.core.allocation import TokenAllocationAlgorithm
@@ -37,6 +41,7 @@ from repro.core.mechanism import (
 )
 from repro.core.pid import PidRateMechanism  # noqa: F401  (self-registers "pid")
 from repro.core.records import JobRecords
+from repro.core.sdn import SdnControllerMechanism  # noqa: F401  (self-registers "sdn")
 from repro.core.remainders import RemainderStore
 from repro.core.rule_daemon import RuleManagementDaemon
 from repro.core.types import (
@@ -46,6 +51,7 @@ from repro.core.types import (
     JobAllocation,
     JobInfo,
 )
+from repro.core.vc import VirtualCircuitMechanism  # noqa: F401  (self-registers "vc")
 
 __all__ = [
     "AdapTbf",
@@ -55,6 +61,8 @@ __all__ = [
     "MechanismRegistry",
     "PeriodicDriver",
     "PidRateMechanism",
+    "SdnControllerMechanism",
+    "VirtualCircuitMechanism",
     "AllocationInput",
     "AllocationResult",
     "AllocationRound",

@@ -144,6 +144,35 @@ class MechanismHandle(ABC):
         """Control rounds the mechanism has completed on this OST."""
         return 0
 
+    @property
+    def rule_lag_s(self) -> float:
+        """Mean observation → enforcement lag of applied rule updates.
+
+        0.0 for mechanisms that decide locally (their lag is only the
+        spec's ``overhead_s``); centralized mechanisms report the full
+        control-plane round trip here — the decentralization-tax column.
+        """
+        return 0.0
+
+    @property
+    def overshoot_bytes(self) -> float:
+        """Bytes of rate granted beyond live demand at enforcement time.
+
+        Measures staleness: how much capacity the mechanism's view
+        allocated to demand that had already moved on.  0.0 for
+        mechanisms whose decisions act on fresh local state.
+        """
+        return 0.0
+
+    @property
+    def reservation_util(self) -> Optional[float]:
+        """Used ÷ reserved capacity, or None if nothing is reserved.
+
+        Only reservation-based mechanisms (virtual circuits) report a
+        value; the campaign reducer averages the non-None handles.
+        """
+        return None
+
 
 class BandwidthMechanism(ABC):
     """A bandwidth-control mechanism, resolvable by name from the registry.

@@ -73,6 +73,7 @@ from repro.metrics.export import export_all
 from repro.metrics.report import (
     format_campaign_report,
     format_chaos_table,
+    format_decentralization_table,
     format_mechanism_table,
     format_run_report,
 )
@@ -223,6 +224,12 @@ def _run_registered(name: str, args, params: Dict[str, str]) -> bool:
             )
         if policy_changes:
             spec = spec.with_policy(**policy_changes)
+            # Factories validate parameter *values* (latencies, factors)
+            # at build time; resolve once now so a bad value is a
+            # one-line exit here, not a traceback mid-build.
+            MECHANISMS.build(
+                spec.policy.mechanism, **dict(spec.policy.mechanism_params)
+            )
         wl_params = _split_params(getattr(args, "workload_param", None))
         if args.workload is not None:
             spec = spec.with_workload(
@@ -286,9 +293,13 @@ def _campaign_progress(outcome, total, counter) -> None:
 def _report_campaign(campaign, result, args) -> None:
     print()
     print(format_campaign_report(result))
-    if any(axis.param == "mechanism" for axis in campaign.axes):
+    axis_params = {axis.param for axis in campaign.axes}
+    if "mechanism" in axis_params:
         print()
         print(format_mechanism_table(result))
+    if "mechanism" in axis_params and "mechanism_params" in axis_params:
+        print()
+        print(format_decentralization_table(result))
     has_fault = campaign.base_params.get("fault") or any(
         axis.param == "fault" for axis in campaign.axes
     )

@@ -22,6 +22,7 @@ __all__ = [
     "format_campaign_report",
     "format_mechanism_table",
     "format_chaos_table",
+    "format_decentralization_table",
 ]
 
 
@@ -174,6 +175,75 @@ def format_mechanism_table(result: "CampaignResult") -> str:
         title=(
             f"mechanism shootout over scenario "
             f"{result.campaign.scenario!r} (ranked by throughput)"
+        ),
+    )
+
+
+def format_decentralization_table(result: "CampaignResult") -> str:
+    """Mechanisms ranked per control-plane latency step.
+
+    The decentralization-tax view of a campaign sweeping both ``mechanism``
+    and ``mechanism_params``: one block per swept ``ctrl_latency_s`` value
+    (ascending), mechanisms within a block ranked by fairness with
+    throughput as the tiebreaker.  Decentralized mechanisms ignore the
+    latency override, so their rows repeat across blocks as flat reference
+    lines — the tax is how far the centralized rows slide down the ranking
+    as the latency grows, itemized by the ``lag``/``overshoot``/``resv
+    util`` columns.
+    """
+    buckets: "dict" = {}
+    for outcome in result.outcomes:
+        overrides = outcome.params.get("mechanism_params") or {}
+        latency = float(overrides.get("ctrl_latency_s", 0.0))
+        mechanism = outcome.params.get("mechanism", outcome.row.mechanism)
+        buckets.setdefault(latency, {}).setdefault(mechanism, []).append(
+            outcome.row
+        )
+
+    def mean(values):
+        return sum(values) / len(values) if values else 0.0
+
+    mib = float(1 << 20)
+    rows = []
+    for latency in sorted(buckets):
+        ranked = sorted(
+            buckets[latency].items(),
+            key=lambda item: (
+                -mean([r.fairness for r in item[1]]),
+                -mean([r.aggregate_mib_s for r in item[1]]),
+            ),
+        )
+        for rank, (mechanism, cell_rows) in enumerate(ranked, start=1):
+            rows.append(
+                [
+                    f"{latency:g}",
+                    rank,
+                    mechanism,
+                    f"{mean([r.fairness for r in cell_rows]):.3f}",
+                    f"{mean([r.aggregate_mib_s for r in cell_rows]):.1f}",
+                    f"{mean([r.latency_p99_ms for r in cell_rows]):.1f}",
+                    f"{mean([r.rule_lag_s for r in cell_rows]) * 1e3:.1f}",
+                    f"{mean([r.overshoot_bytes for r in cell_rows]) / mib:.1f}",
+                    f"{mean([r.reservation_util for r in cell_rows]):.2f}",
+                ]
+            )
+    return format_table(
+        [
+            "ctrl lat s",
+            "rank",
+            "mechanism",
+            "fairness",
+            "MiB/s",
+            "p99 ms",
+            "lag ms",
+            "overshoot MiB",
+            "resv util",
+        ],
+        rows,
+        title=(
+            f"decentralization tax over scenario "
+            f"{result.campaign.scenario!r} (ranked by fairness per "
+            "control-plane latency)"
         ),
     )
 

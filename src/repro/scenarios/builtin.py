@@ -189,7 +189,7 @@ def _recompensation(
 )
 def _multiost(
     n_osts: int = 4,
-    stripe_count: int = 2,
+    stripe_count: int = 0,
     capacity_mib_s: float = 256.0,
     file_mib: float = 512.0,
     procs: int = 8,
@@ -198,6 +198,16 @@ def _multiost(
     interval_s: float = 0.1,
     duration: float = 3.0,
 ) -> ScenarioSpec:
+    """Files striped over several OSTs, one controller per OST.
+
+    Parameters
+    ----------
+    stripe_count:
+        OSTs each file stripes over; 0 (the default) picks
+        ``min(2, n_osts)`` so the scenario stays valid when an
+        ``n_osts`` sweep narrows the cluster to one OST.
+    """
+    stripe_count = int(stripe_count) or min(2, n_osts)
     jobs = (
         JobSpec(
             job_id="simulation",

@@ -1,0 +1,30 @@
+"""Shared fixtures for the campaign test modules.
+
+``tiny_campaign`` used to be copy-pasted (with drifting shapes) into
+``test_executor``, ``test_resume``, and ``test_artifacts``; it lives here
+once now as a session-scoped factory fixture.  Modules needing a
+different shape pass constructor overrides — ``test_resume`` runs four
+capacities under its own campaign name so store spec-hashes never
+collide with the executor module's two-cell runs.
+"""
+
+import pytest
+
+from repro.campaigns import CampaignSpec, ParameterAxis
+
+
+@pytest.fixture(scope="session")
+def tiny_campaign():
+    """``tiny_campaign(**overrides)`` → the shared 2-cell quickstart sweep."""
+
+    def _make(**overrides) -> CampaignSpec:
+        kwargs = dict(
+            name="tiny",
+            scenario="quickstart",
+            axes=(ParameterAxis("capacity_mib_s", (512.0, 1024.0)),),
+            base_params={"file_mib": 8.0, "procs": 2},
+        )
+        kwargs.update(overrides)
+        return CampaignSpec(**kwargs)
+
+    return _make

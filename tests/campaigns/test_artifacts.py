@@ -4,32 +4,24 @@ import csv
 import json
 
 from repro.campaigns import (
-    CampaignSpec,
-    ParameterAxis,
     rerun_command,
     run_campaign,
     write_artifacts,
 )
 
-
-def tiny_campaign() -> CampaignSpec:
-    return CampaignSpec(
-        name="tiny",
-        scenario="quickstart",
-        axes=(ParameterAxis("capacity_mib_s", (512.0, 1024.0)),),
-        base_params={"file_mib": 8.0, "procs": 2},
-    )
+# The shared two-cell quickstart sweep comes from the package conftest's
+# session-scoped ``tiny_campaign`` factory fixture.
 
 
 class TestLayout:
-    def test_writes_all_four_files(self, tmp_path):
+    def test_writes_all_four_files(self, tiny_campaign, tmp_path):
         result = run_campaign(tiny_campaign(), jobs=1)
         written = write_artifacts(result, tmp_path / "out")
         assert set(written) == {"manifest", "rows", "csv", "timing"}
         for path in written.values():
             assert path.exists() and path.stat().st_size > 0
 
-    def test_manifest_identifies_every_cell(self, tmp_path):
+    def test_manifest_identifies_every_cell(self, tiny_campaign, tmp_path):
         campaign = tiny_campaign()
         result = run_campaign(campaign, jobs=1)
         written = write_artifacts(result, tmp_path)
@@ -49,7 +41,7 @@ class TestLayout:
                 in cell["rerun"]
             )
 
-    def test_rows_json_contains_rows_and_summary(self, tmp_path):
+    def test_rows_json_contains_rows_and_summary(self, tiny_campaign, tmp_path):
         result = run_campaign(tiny_campaign(), jobs=1)
         written = write_artifacts(result, tmp_path)
         payload = json.loads(written["rows"].read_text())
@@ -60,7 +52,7 @@ class TestLayout:
             assert "per_job_mib_s" in row
         assert payload["summary"]["cells"] == 2
 
-    def test_csv_has_param_and_metric_columns(self, tmp_path):
+    def test_csv_has_param_and_metric_columns(self, tiny_campaign, tmp_path):
         result = run_campaign(tiny_campaign(), jobs=1)
         written = write_artifacts(result, tmp_path)
         with written["csv"].open() as handle:
@@ -70,7 +62,7 @@ class TestLayout:
         assert float(rows[0]["aggregate_mib_s"]) > 0
         assert float(rows[0]["mib_s:science"]) > 0
 
-    def test_timing_quarantines_wall_clock(self, tmp_path):
+    def test_timing_quarantines_wall_clock(self, tiny_campaign, tmp_path):
         result = run_campaign(tiny_campaign(), jobs=1)
         written = write_artifacts(result, tmp_path)
         timing = json.loads(written["timing"].read_text())
@@ -84,7 +76,7 @@ class TestLayout:
 
 class TestDeterminism:
     def test_rows_and_manifest_bit_identical_across_worker_counts(
-        self, tmp_path
+        self, tiny_campaign, tmp_path
     ):
         """The acceptance bar: --jobs 1 and --jobs N agree byte-for-byte on
         everything except timing.json."""
@@ -100,7 +92,7 @@ class TestDeterminism:
 
 
 class TestRerunCommand:
-    def test_rerun_reproduces_the_cell(self):
+    def test_rerun_reproduces_the_cell(self, tiny_campaign):
         """Building the scenario from the recorded rerun parameters yields
         the exact spec the campaign cell ran."""
         from repro.scenarios import REGISTRY

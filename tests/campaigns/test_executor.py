@@ -3,7 +3,6 @@
 import pytest
 
 from repro.campaigns import (
-    CampaignSpec,
     CampaignSummary,
     ParameterAxis,
     run_campaign,
@@ -12,27 +11,19 @@ from repro.campaigns import (
 from repro.campaigns.aggregate import percentile
 from repro.scenarios import REGISTRY
 
-
-def tiny_campaign(**overrides) -> CampaignSpec:
-    kwargs = dict(
-        name="tiny",
-        scenario="quickstart",
-        axes=(ParameterAxis("capacity_mib_s", (512.0, 1024.0)),),
-        base_params={"file_mib": 8.0, "procs": 2},
-    )
-    kwargs.update(overrides)
-    return CampaignSpec(**kwargs)
+# The shared two-cell quickstart sweep comes from the package conftest's
+# session-scoped ``tiny_campaign`` factory fixture.
 
 
 class TestSerialExecution:
-    def test_one_outcome_per_cell_in_index_order(self):
+    def test_one_outcome_per_cell_in_index_order(self, tiny_campaign):
         result = run_campaign(tiny_campaign(), jobs=1)
         assert [o.index for o in result.outcomes] == [0, 1]
         assert result.jobs == 1
         assert result.wall_s > 0
         assert all(o.wall_s > 0 for o in result.outcomes)
 
-    def test_rows_carry_sweep_metrics(self):
+    def test_rows_carry_sweep_metrics(self, tiny_campaign):
         # Files sized to span several 100 ms allocation rounds, so the
         # controller/rule-churn columns have something to report.
         result = run_campaign(
@@ -57,11 +48,11 @@ class TestSerialExecution:
             )
             assert row.rounds_run > 0
 
-    def test_jobs_must_be_positive(self):
+    def test_jobs_must_be_positive(self, tiny_campaign):
         with pytest.raises(ValueError, match="jobs"):
             run_campaign(tiny_campaign(), jobs=0)
 
-    def test_progress_callback_sees_every_cell(self):
+    def test_progress_callback_sees_every_cell(self, tiny_campaign):
         seen = []
         run_campaign(
             tiny_campaign(),
@@ -74,7 +65,7 @@ class TestSerialExecution:
 
 
 class TestParallelExecution:
-    def test_parallel_rows_identical_to_serial(self):
+    def test_parallel_rows_identical_to_serial(self, tiny_campaign):
         campaign = tiny_campaign()
         serial = run_campaign(campaign, jobs=1)
         parallel = run_campaign(campaign, jobs=2)
@@ -84,11 +75,11 @@ class TestParallelExecution:
             o.seed for o in serial.outcomes
         ]
 
-    def test_more_workers_than_cells(self):
+    def test_more_workers_than_cells(self, tiny_campaign):
         result = run_campaign(tiny_campaign(), jobs=8)
         assert len(result.outcomes) == 2
 
-    def test_invalid_cell_fails_fast_before_pool(self):
+    def test_invalid_cell_fails_fast_before_pool(self, tiny_campaign):
         # Cells resolve in the parent, so a bad axis value surfaces as a
         # spec validation error before any worker process spins up.
         bad = tiny_campaign(
@@ -99,7 +90,7 @@ class TestParallelExecution:
 
 
 class TestReduction:
-    def test_run_cell_matches_run_scenario_physics(self):
+    def test_run_cell_matches_run_scenario_physics(self, tiny_campaign):
         """The sweep trim (no history, summary-only metrics) must not
         change the simulated numbers."""
         from repro.scenarios.runner import run_scenario
@@ -122,14 +113,14 @@ class TestReduction:
         with pytest.raises(ValueError):
             percentile(values, 0)
 
-    def test_baseline_mechanism_has_zero_churn(self):
+    def test_baseline_mechanism_has_zero_churn(self, tiny_campaign):
         campaign = tiny_campaign(base_params={"mechanism": "none", "file_mib": 8.0})
         result = run_campaign(campaign, jobs=1)
         for outcome in result.outcomes:
             assert outcome.row.rule_churn == 0
             assert outcome.row.rounds_run == 0
 
-    def test_summary_streams_across_outcomes(self):
+    def test_summary_streams_across_outcomes(self, tiny_campaign):
         result = run_campaign(tiny_campaign(), jobs=1)
         summary = CampaignSummary()
         for outcome in result.outcomes:

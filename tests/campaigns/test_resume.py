@@ -21,7 +21,6 @@ import pytest
 import repro.campaigns.queue as queue_mod
 from repro.campaigns import (
     CampaignExecutionError,
-    CampaignSpec,
     JsonlStore,
     ParameterAxis,
     SpecHashMismatchError,
@@ -38,20 +37,15 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 #: The deterministic artifacts resume must reproduce byte-for-byte.
 DETERMINISTIC = ("rows.json", "rows.csv")
 
-
-def tiny_campaign(**overrides) -> CampaignSpec:
-    kwargs = dict(
-        name="resume-tiny",
-        scenario="quickstart",
-        axes=(
-            ParameterAxis(
-                "capacity_mib_s", (256.0, 512.0, 768.0, 1024.0)
-            ),
-        ),
-        base_params={"file_mib": 8.0, "procs": 2},
-    )
-    kwargs.update(overrides)
-    return CampaignSpec(**kwargs)
+#: The resume tests run the conftest ``tiny_campaign`` fixture at four
+#: capacities under their own name, so store spec-hashes never collide
+#: with the executor module's two-cell runs.
+RESUME_SHAPE = dict(
+    name="resume-tiny",
+    axes=(
+        ParameterAxis("capacity_mib_s", (256.0, 512.0, 768.0, 1024.0)),
+    ),
+)
 
 
 def make_store(tmp_path: Path, kind: str):
@@ -61,10 +55,10 @@ def make_store(tmp_path: Path, kind: str):
 
 
 @pytest.fixture(scope="module")
-def baseline(tmp_path_factory):
+def baseline(tiny_campaign, tmp_path_factory):
     """Uninterrupted jobs=1 artifacts of the shared tiny campaign."""
     out = tmp_path_factory.mktemp("baseline")
-    result = run_campaign(tiny_campaign(), jobs=1)
+    result = run_campaign(tiny_campaign(**RESUME_SHAPE), jobs=1)
     return write_artifacts(result, out)
 
 
@@ -80,9 +74,9 @@ class TestResumeByteIdentity:
     @pytest.mark.parametrize("jobs", [1, 4])
     @pytest.mark.parametrize("stop_after", [1, 3])
     def test_interrupted_then_resumed_rows_are_byte_identical(
-        self, tmp_path, baseline, kind, jobs, stop_after
+        self, tiny_campaign, tmp_path, baseline, kind, jobs, stop_after
     ):
-        campaign = tiny_campaign()
+        campaign = tiny_campaign(**RESUME_SHAPE)
         with make_store(tmp_path, kind) as store:
             partial = run_campaign(
                 campaign, jobs=1, store=store, max_cells=stop_after
@@ -100,9 +94,9 @@ class TestResumeByteIdentity:
 
     @pytest.mark.parametrize("kind", ["jsonl", "sqlite"])
     def test_resume_of_complete_campaign_executes_nothing(
-        self, tmp_path, baseline, kind
+        self, tiny_campaign, tmp_path, baseline, kind
     ):
-        campaign = tiny_campaign()
+        campaign = tiny_campaign(**RESUME_SHAPE)
         with make_store(tmp_path, kind) as store:
             run_campaign(campaign, jobs=1, store=store)
         with make_store(tmp_path, kind) as store:
@@ -117,8 +111,8 @@ class TestResumeByteIdentity:
 
 
 class TestGuards:
-    def test_fresh_run_on_nonempty_store_is_loud(self, tmp_path):
-        campaign = tiny_campaign()
+    def test_fresh_run_on_nonempty_store_is_loud(self, tiny_campaign, tmp_path):
+        campaign = tiny_campaign(**RESUME_SHAPE)
         with make_store(tmp_path, "jsonl") as store:
             run_campaign(campaign, jobs=1, store=store, max_cells=1)
         with make_store(tmp_path, "jsonl") as store:
@@ -126,11 +120,14 @@ class TestGuards:
                 run_campaign(campaign, jobs=1, store=store)
 
     @pytest.mark.parametrize("kind", ["jsonl", "sqlite"])
-    def test_spec_hash_mismatch_is_rejected(self, tmp_path, kind):
+    def test_spec_hash_mismatch_is_rejected(self, tiny_campaign, tmp_path, kind):
         with make_store(tmp_path, kind) as store:
-            run_campaign(tiny_campaign(), jobs=1, store=store, max_cells=1)
+            run_campaign(tiny_campaign(**RESUME_SHAPE), jobs=1, store=store, max_cells=1)
         other = tiny_campaign(
-            axes=(ParameterAxis("capacity_mib_s", (128.0,)),)
+            **{
+                **RESUME_SHAPE,
+                "axes": (ParameterAxis("capacity_mib_s", (128.0,)),),
+            }
         )
         with make_store(tmp_path, kind) as store:
             with pytest.raises(SpecHashMismatchError, match="spec hash"):
@@ -139,9 +136,9 @@ class TestGuards:
 
 class TestCellFailure:
     def test_raise_inside_cell_commits_the_rest_then_resume_heals(
-        self, tmp_path, baseline, monkeypatch
+        self, tiny_campaign, tmp_path, baseline, monkeypatch
     ):
-        campaign = tiny_campaign()
+        campaign = tiny_campaign(**RESUME_SHAPE)
         real = queue_mod._execute_cell
 
         def flaky(spec, cell):
@@ -171,8 +168,8 @@ class TestCellFailure:
         assert resumed.skipped == 3
         assert_matches_baseline(resumed, tmp_path / "out", baseline)
 
-    def test_partial_result_rides_on_the_error(self, tmp_path, monkeypatch):
-        campaign = tiny_campaign()
+    def test_partial_result_rides_on_the_error(self, tiny_campaign, tmp_path, monkeypatch):
+        campaign = tiny_campaign(**RESUME_SHAPE)
         real = queue_mod._execute_cell
         monkeypatch.setattr(
             queue_mod,
@@ -189,8 +186,8 @@ class TestCellFailure:
 
 
 class TestLeaseReclamation:
-    def test_live_lease_is_respected(self, tmp_path):
-        campaign = tiny_campaign()
+    def test_live_lease_is_respected(self, tiny_campaign, tmp_path):
+        campaign = tiny_campaign(**RESUME_SHAPE)
         store = make_store(tmp_path, "jsonl")
         store.begin(campaign.spec_hash(), campaign.to_json_dict())
         # Another (live) run holds cell 2.
@@ -200,10 +197,10 @@ class TestLeaseReclamation:
         assert [o.index for o in result.outcomes] == [0, 1, 3]
         store.close()
 
-    def test_dead_local_coordinator_lease_is_reclaimed(self, tmp_path):
+    def test_dead_local_coordinator_lease_is_reclaimed(self, tiny_campaign, tmp_path):
         import socket
 
-        campaign = tiny_campaign()
+        campaign = tiny_campaign(**RESUME_SHAPE)
         store = make_store(tmp_path, "jsonl")
         store.begin(campaign.spec_hash(), campaign.to_json_dict())
         # A coordinator on THIS host that is provably dead: its lease has
@@ -217,8 +214,8 @@ class TestLeaseReclamation:
         assert [o.index for o in result.outcomes] == [0, 1, 2, 3]
         store.close()
 
-    def test_expired_lease_is_reclaimed_and_executed(self, tmp_path):
-        campaign = tiny_campaign()
+    def test_expired_lease_is_reclaimed_and_executed(self, tiny_campaign, tmp_path):
+        campaign = tiny_campaign(**RESUME_SHAPE)
         store = make_store(tmp_path, "sqlite")
         store.begin(campaign.spec_hash(), campaign.to_json_dict())
         # A worker died holding cell 2: its lease is long expired.
@@ -234,8 +231,8 @@ class TestLeaseReclamation:
 
 
 class TestStatusAndAccounting:
-    def test_status_counts_committed_leased_pending(self, tmp_path):
-        campaign = tiny_campaign()
+    def test_status_counts_committed_leased_pending(self, tiny_campaign, tmp_path):
+        campaign = tiny_campaign(**RESUME_SHAPE)
         with make_store(tmp_path, "jsonl") as store:
             run_campaign(campaign, jobs=1, store=store, max_cells=2)
         store = make_store(tmp_path, "jsonl")
@@ -253,8 +250,8 @@ class TestStatusAndAccounting:
         assert "1 expired" in text
         store.close()
 
-    def test_resumed_cells_per_s_counts_only_executed(self, tmp_path):
-        campaign = tiny_campaign()
+    def test_resumed_cells_per_s_counts_only_executed(self, tiny_campaign, tmp_path):
+        campaign = tiny_campaign(**RESUME_SHAPE)
         with make_store(tmp_path, "jsonl") as store:
             run_campaign(campaign, jobs=1, store=store, max_cells=3)
         with make_store(tmp_path, "jsonl") as store:
@@ -269,12 +266,12 @@ class TestStatusAndAccounting:
             1 / resumed.wall_s
         )
 
-    def test_skipped_surfaces_in_report_and_timing(self, tmp_path):
+    def test_skipped_surfaces_in_report_and_timing(self, tiny_campaign, tmp_path):
         import json
 
         from repro.metrics.report import format_campaign_report
 
-        campaign = tiny_campaign()
+        campaign = tiny_campaign(**RESUME_SHAPE)
         with make_store(tmp_path, "jsonl") as store:
             run_campaign(campaign, jobs=1, store=store, max_cells=1)
         with make_store(tmp_path, "jsonl") as store:

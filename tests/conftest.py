@@ -8,43 +8,34 @@ now, as a fixture family:
 * ``make_controlled_stack`` — single-OST stack plus an AdapTbf loop;
 * ``make_multi_ost_stack``  — N independent per-OST stacks sharing one
   network (striping / decentralization tests);
+* ``make_mechanism_cluster``— full spec→cluster pipeline for any
+  *registered* mechanism name (the per-mechanism test modules build
+  through this instead of hand-wiring specs);
 * ``seq``                   — sequential-write client program factory.
 
 All are *factories* taking the test's own ``Environment``, so a test can
 build several stacks (or stacks at different capacities) while the
 timing-sensitive defaults (io_threads=8, zero latency) stay in one place.
+The raw ``build_stack`` function lives in ``tests/simstack.py`` (and is
+re-exported here) so modules needing a picklable module-level helper can
+import it without depending on the ambiguous ``conftest`` module name.
 """
 
 import collections
 
 import pytest
+from simstack import MB, Stack, build_stack
 
 from repro.core import AdapTbf
-from repro.lustre import Network, Oss, Ost, TbfPolicy
+from repro.lustre import Network, Oss, Ost
 from repro.workloads.patterns import SequentialWritePattern
 
-MB = 1 << 20
+__all__ = ["MB", "Stack", "build_stack"]
 
-Stack = collections.namedtuple("Stack", "ost policy oss net")
 ControlledStack = collections.namedtuple(
     "ControlledStack", "ost policy oss net frame"
 )
 MultiOstStack = collections.namedtuple("MultiOstStack", "osts osses net")
-
-
-def build_stack(
-    env,
-    policy_cls=TbfPolicy,
-    capacity_mbps=100,
-    io_threads=8,
-    latency_s=0.0,
-):
-    """One OST behind one OSS under ``policy_cls``, zero-latency network."""
-    ost = Ost(env, "ost0", capacity_bps=capacity_mbps * MB)
-    policy = policy_cls(env)
-    oss = Oss(env, ost, policy, io_threads=io_threads)
-    net = Network(env, latency_s=latency_s)
-    return Stack(ost, policy, oss, net)
 
 
 @pytest.fixture
@@ -104,6 +95,71 @@ def make_multi_ost_stack():
         ]
         net = Network(env, latency_s=latency_s)
         return MultiOstStack(osts, osses, net)
+
+    return _make
+
+
+@pytest.fixture
+def make_mechanism_cluster():
+    """``(mechanism, **overrides)`` → a built cluster running that mechanism.
+
+    Runs the full ``ScenarioSpec`` → :func:`repro.cluster.builder.build`
+    pipeline for any registered mechanism name, so per-mechanism test
+    modules stop rebuilding clusters by hand: two sequential-write jobs
+    (``j0`` with 1 node, ``j1`` with 2, …) on ``n_osts`` default-capacity
+    OSTs, optionally under a fault and on either kernel backend.
+    """
+
+    def _make(
+        mechanism,
+        mechanism_params=None,
+        n_jobs=2,
+        volume=8 * MB,
+        n_osts=1,
+        duration_s=None,
+        backend="heap",
+        fault=None,
+        fault_params=None,
+        **policy_overrides,
+    ):
+        from repro.cluster.builder import build
+        from repro.scenarios.spec import (
+            PolicySpec,
+            RunSpec,
+            ScenarioSpec,
+            TopologySpec,
+        )
+        from repro.workloads.spec import JobSpec, ProcessSpec
+
+        volumes = (
+            tuple(volume)
+            if isinstance(volume, (tuple, list))
+            else (int(volume),) * n_jobs
+        )
+        jobs = tuple(
+            JobSpec(
+                job_id=f"j{i}",
+                nodes=i + 1,
+                processes=(
+                    ProcessSpec(SequentialWritePattern(int(volumes[i]))),
+                ),
+            )
+            for i in range(n_jobs)
+        )
+        spec = ScenarioSpec(
+            name="fixture",
+            jobs=jobs,
+            topology=TopologySpec(n_osts=n_osts),
+            policy=PolicySpec(
+                mechanism=mechanism,
+                mechanism_params=mechanism_params or {},
+                **policy_overrides,
+            ),
+            run=RunSpec(duration_s=duration_s, backend=backend),
+        )
+        if fault is not None:
+            spec = spec.with_fault(fault, fault_params or {})
+        return build(spec)
 
     return _make
 

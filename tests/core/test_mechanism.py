@@ -44,7 +44,15 @@ def spec_for(mechanism, **params):
 class TestRegistry:
     def test_builtins_registered(self):
         names = MECHANISMS.names()
-        for expected in ("none", "static", "adaptbf", "adaptbf-ewma", "pid"):
+        for expected in (
+            "none",
+            "static",
+            "adaptbf",
+            "adaptbf-ewma",
+            "pid",
+            "sdn",
+            "vc",
+        ):
             assert expected in names
 
     def test_build_stamps_name_and_params(self):

@@ -5,7 +5,7 @@ from concurrent.futures import ProcessPoolExecutor
 
 import pytest
 
-from conftest import build_stack
+from simstack import build_stack
 
 from repro.lustre import ClientProcess, FifoPolicy
 from repro.sim import Environment
